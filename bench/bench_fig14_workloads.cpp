@@ -1,0 +1,91 @@
+// Figure 14 (§7.3): average per-flow throughput for each workload
+// (Stride(8), Shuffle, Random Bijection, Random) under each scheme
+// (Static, Poll-1s, Poll-0.1s, PlanckTE, Optimal), at three flow-size
+// classes.
+//
+// Flow-size scaling (see EXPERIMENTS.md): packet-level simulation of the
+// paper's 10 GiB flows is prohibitive, so the classes here default to
+// {50 MiB, 250 MiB, 1 GiB} per flow ({4, 16, 64} MiB per pair for
+// shuffle). Durations land in the same regimes the paper's {100 MiB,
+// 1 GiB, 10 GiB} produced relative to the control loops: the smallest
+// class is untouchable by polling, the middle is reachable by Poll-0.1s,
+// the largest partially recoverable by Poll-1s. PLANCK_BENCH_SCALE
+// multiplies all sizes; PLANCK_BENCH_RUNS sets seeds per cell (paper: 15).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+#include "workload/experiment.hpp"
+
+using namespace planck;
+using workload::ExperimentConfig;
+using workload::Scheme;
+using workload::WorkloadKind;
+
+int main() {
+  bench::header("Figure 14", "average flow throughput per workload/scheme");
+  const int runs = bench::runs(1);
+  const double scale = bench::scale();
+
+  const Scheme schemes[] = {Scheme::kStatic, Scheme::kPoll1s,
+                            Scheme::kPoll01s, Scheme::kPlanckTe,
+                            Scheme::kOptimal};
+  struct SizeClass {
+    const char* label;
+    double flow_mib;
+    double shuffle_mib;
+  };
+  const SizeClass classes[] = {{"small (100MiB-class)", 50, 4},
+                               {"medium (1GiB-class)", 250, 16},
+                               {"large (10GiB-class)", 1024, 64}};
+  const WorkloadKind workloads[] = {
+      WorkloadKind::kShuffle, WorkloadKind::kStride,
+      WorkloadKind::kRandom, WorkloadKind::kRandomBijection};
+
+  std::printf("runs per cell: %d (PLANCK_BENCH_RUNS), size scale: %.2f "
+              "(PLANCK_BENCH_SCALE)\n\n",
+              runs, scale);
+
+  for (WorkloadKind workload : workloads) {
+    std::printf("\n%s\n", workload_name(workload));
+    stats::TextTable table({"size class", "flow MiB", "Static", "Poll-1s",
+                            "Poll-0.1s", "PlanckTE", "Optimal",
+                            "(avg flow Gbps)"});
+    for (const SizeClass& size : classes) {
+      const double mib = (workload == WorkloadKind::kShuffle
+                              ? size.shuffle_mib
+                              : size.flow_mib) *
+                         scale;
+      std::vector<std::string> row = {size.label,
+                                      stats::format("%.0f", mib)};
+      for (Scheme scheme : schemes) {
+        stats::Summary avg;
+        for (int r = 0; r < runs; ++r) {
+          ExperimentConfig cfg;
+          cfg.scheme = scheme;
+          cfg.workload = workload;
+          cfg.flow_bytes = bench::mib(mib);
+          cfg.seed = static_cast<std::uint64_t>(1000 + r);
+          const auto result = run_experiment(cfg);
+          avg.add(result.avg_flow_throughput_bps / 1e9);
+          if (!result.all_complete) {
+            std::fprintf(stderr, "warning: %s/%s run %d incomplete\n",
+                         workload_name(workload), scheme_name(scheme), r);
+          }
+        }
+        row.push_back(stats::format("%.2f", avg.mean()));
+      }
+      row.push_back("");
+      table.add_row(row);
+    }
+    table.print();
+  }
+  std::printf(
+      "\nexpected shape (paper): PlanckTE within a few %% of Optimal at "
+      "every size\n(worst case shuffle); Poll schemes improve with flow "
+      "size; Static lowest.\n");
+  return 0;
+}

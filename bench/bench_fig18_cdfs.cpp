@@ -1,0 +1,68 @@
+// Figure 18 (§7.3): distributional views of the small-flow-class results:
+//   (a) CDF of per-host shuffle completion times;
+//   (b) CDF of individual flow throughputs for stride(8).
+// Run at the small size class of Figure 14.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/samples.hpp"
+#include "workload/experiment.hpp"
+
+using namespace planck;
+using workload::ExperimentConfig;
+using workload::Scheme;
+using workload::WorkloadKind;
+
+int main() {
+  bench::header("Figure 18", "shuffle completion and stride throughput CDFs");
+  const int runs = bench::runs(1);
+  const double scale = bench::scale();
+  const Scheme schemes[] = {Scheme::kStatic, Scheme::kPoll1s,
+                            Scheme::kPoll01s, Scheme::kPlanckTe,
+                            Scheme::kOptimal};
+
+  std::printf("\n(a) shuffle host completion times (s), %0.f MiB per pair\n",
+              4 * scale);
+  for (Scheme scheme : schemes) {
+    stats::Samples completions;
+    for (int r = 0; r < runs; ++r) {
+      ExperimentConfig cfg;
+      cfg.scheme = scheme;
+      cfg.workload = WorkloadKind::kShuffle;
+      cfg.flow_bytes = bench::mib(4 * scale);
+      cfg.seed = static_cast<std::uint64_t>(300 + r);
+      for (double t : run_experiment(cfg).host_completion_seconds) {
+        completions.add(t);
+      }
+    }
+    std::printf("  %-10s median %.3f s  p10 %.3f  p90 %.3f\n",
+                scheme_name(scheme), completions.median(),
+                completions.percentile(10), completions.percentile(90));
+  }
+
+  std::printf("\n(b) stride(8) per-flow throughput (Gbps), %.0f MiB flows\n",
+              50 * scale);
+  for (Scheme scheme : schemes) {
+    stats::Samples tputs;
+    for (int r = 0; r < runs; ++r) {
+      ExperimentConfig cfg;
+      cfg.scheme = scheme;
+      cfg.workload = WorkloadKind::kStride;
+      cfg.flow_bytes = bench::mib(50 * scale);
+      cfg.seed = static_cast<std::uint64_t>(400 + r);
+      for (const auto& f : run_experiment(cfg).flows) {
+        tputs.add(f.throughput_bps() / 1e9);
+      }
+    }
+    std::printf("  %-10s ", scheme_name(scheme));
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
+      std::printf("p%-2.0f %5.2f  ", p, tputs.percentile(p));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape (paper): PlanckTE's distributions track Optimal's; "
+      "Poll\nschemes sit between Static and PlanckTE.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// §9.1 "Scalability": the paper estimates collector-infrastructure cost at
+// datacenter scale from measured per-collector capacity (14 x 10 GbE ports
+// per 2U server). This bench reproduces those calculations for the
+// fat-tree and Jellyfish datapoints the paper quotes, plus the per-switch
+// port tax of dedicating one port in k-port switches.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "stats/table.hpp"
+
+using namespace planck;
+
+namespace {
+
+struct FatTreeSizing {
+  int k;  // switch radix
+  long long hosts;
+  long long switches;
+};
+
+/// Three-level fat-tree sizing with one port per switch reserved for
+/// monitoring: effective radix k' = k - 1 for hosts, but the topology is
+/// built with radix k' and the spare port mirrors (§9.1's accounting).
+FatTreeSizing fat_tree(int radix, bool monitor_port) {
+  const int k = monitor_port ? radix - 2 : radix;  // k must stay even
+  FatTreeSizing s;
+  s.k = k;
+  s.hosts = static_cast<long long>(k) * k * k / 4;
+  s.switches = 5LL * k * k / 4;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("§9.1", "collector-infrastructure cost at scale");
+
+  constexpr int kPortsPerCollectorServer = 14;  // measured in the paper
+
+  // The paper's headline datapoint: 64-port switches, one monitor port,
+  // i.e. a k = 62 three-level fat-tree.
+  {
+    const FatTreeSizing with = fat_tree(64, /*monitor_port=*/true);
+    const FatTreeSizing without = fat_tree(64, /*monitor_port=*/false);
+    const long long collectors =
+        (with.switches + kPortsPerCollectorServer - 1) /
+        kPortsPerCollectorServer;
+    std::printf("\n64-port switches, 3-level fat-tree, 1 monitor port "
+                "per switch:\n");
+    std::printf("  k = %d  hosts = %lld (paper: 59,582)\n", with.k,
+                with.hosts);
+    std::printf("  switches = %lld (paper: 4,805)\n", with.switches);
+    std::printf("  collector servers = %lld (paper: ~344)\n", collectors);
+    std::printf("  added machines = %.2f%% (paper: 0.58%%)\n",
+                100.0 * static_cast<double>(collectors) /
+                    static_cast<double>(with.hosts));
+    // Same-switch-count accounting: reclaiming the edge switches' monitor
+    // ports would add one host per edge switch.
+    const long long edge_switches = 2LL * with.k * with.k / 4;
+    (void)without;
+    std::printf("  host capacity given up vs reclaiming edge monitor ports "
+                "= %.1f%% (paper: 1.4%%)\n",
+                100.0 * static_cast<double>(edge_switches) /
+                    static_cast<double>(with.hosts + edge_switches));
+  }
+
+  // Jellyfish at equal host count needs fewer switches (paper: 3,505
+  // switches, 251 collectors, 0.42% added machines). Jellyfish sizing:
+  // switches n with k ports, r used for the mesh, k - r - 1 for hosts
+  // (one monitor port).
+  {
+    const long long hosts_target = 59582;
+    const int k = 64;
+    // The paper's Jellyfish comparison uses full bisection bandwidth:
+    // r ~= 2/3 of ports for the mesh leaves k - r hosts per switch.
+    for (int host_ports : {17}) {
+      const int data_ports = k - 1;  // one monitor port
+      const int mesh_ports = data_ports - host_ports;
+      const long long switches =
+          (hosts_target + host_ports - 1) / host_ports;
+      const long long collectors =
+          (switches + kPortsPerCollectorServer - 1) /
+          kPortsPerCollectorServer;
+      std::printf("\nJellyfish, %d-port switches (%d mesh / %d host / 1 "
+                  "monitor):\n",
+                  k, mesh_ports, host_ports);
+      std::printf("  switches = %lld (paper: 3,505)\n", switches);
+      std::printf("  collector servers = %lld (paper: ~251)\n", collectors);
+      std::printf("  added machines = %.2f%% (paper: 0.42%%)\n",
+                  100.0 * static_cast<double>(collectors) /
+                      static_cast<double>(hosts_target));
+    }
+  }
+
+  // Sampling-rate tax: with one 10 GbE monitor port per k-port switch,
+  // the worst-case effective sampling rate under full load.
+  std::printf("\nworst-case sampling rate vs switch load (one 10G monitor "
+              "port):\n");
+  stats::TextTable table({"active 10G ports", "offered to mirror",
+                          "effective sampling rate"});
+  for (int ports : {1, 2, 4, 8, 16, 32, 63}) {
+    table.add_row({stats::format("%d", ports),
+                   stats::format("%d Gbps", 10 * ports),
+                   stats::format("1 in %d", ports)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,58 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction benches. Each bench is
+// a standalone binary that prints the rows/series the paper reports.
+//
+// Environment knobs:
+//   PLANCK_BENCH_RUNS   repeat count for randomized experiments (default
+//                       per bench; the paper used 15)
+//   PLANCK_BENCH_SCALE  multiplier on workload flow sizes (default 1.0 of
+//                       the bench's documented defaults)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stats/samples.hpp"
+#include "stats/table.hpp"
+
+namespace planck::bench {
+
+inline int runs(int default_runs) {
+  if (const char* env = std::getenv("PLANCK_BENCH_RUNS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return default_runs;
+}
+
+inline double scale() {
+  if (const char* env = std::getenv("PLANCK_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline std::int64_t mib(double n) {
+  return static_cast<std::int64_t>(n * 1024 * 1024);
+}
+
+inline void header(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+/// Prints a CDF as (value, fraction) rows, downsampled to ~`points`.
+inline void print_cdf(const char* label, const stats::Samples& samples,
+                      std::size_t points = 20, const char* unit = "") {
+  std::printf("%s (n=%zu)\n", label, samples.size());
+  if (samples.empty()) return;
+  for (const auto& [value, fraction] : samples.cdf_points(points)) {
+    std::printf("  %10.4f %s  %6.3f\n", value, unit, fraction);
+  }
+}
+
+}  // namespace planck::bench

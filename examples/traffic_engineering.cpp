@@ -1,0 +1,44 @@
+// Millisecond traffic engineering (§6.2, §7): run the same stride(8)
+// workload under Static routing and under PlanckTE on the 16-host
+// fat-tree, and print the per-flow results side by side. PlanckTE detects
+// collisions from Planck's congestion events and moves flows to
+// pre-installed shadow-MAC paths with single ARP messages.
+
+#include <cstdio>
+
+#include "workload/experiment.hpp"
+
+using namespace planck;
+using workload::ExperimentConfig;
+using workload::Scheme;
+using workload::WorkloadKind;
+
+int main() {
+  for (Scheme scheme : {Scheme::kStatic, Scheme::kPlanckTe}) {
+    ExperimentConfig cfg;
+    cfg.scheme = scheme;
+    cfg.workload = WorkloadKind::kStride;
+    cfg.stride = 8;
+    cfg.flow_bytes = 50 * 1024 * 1024;
+    cfg.seed = 1;
+    const auto result = run_experiment(cfg);
+
+    std::printf("\n%s — stride(8), 50 MiB flows\n",
+                workload::scheme_name(scheme));
+    std::printf("  avg flow throughput : %.2f Gbps\n",
+                result.avg_flow_throughput_bps / 1e9);
+    std::printf("  makespan            : %.1f ms\n",
+                sim::to_milliseconds(result.makespan));
+    std::printf("  reroutes            : %llu\n",
+                static_cast<unsigned long long>(result.reroutes));
+    std::printf("  per-flow Gbps       :");
+    for (const auto& f : result.flows) {
+      std::printf(" %.1f", f.throughput_bps() / 1e9);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPlanckTE should lift the slow (colliding) flows toward line rate "
+      "within\nmilliseconds, raising the average 30-60%% over Static.\n");
+  return 0;
+}

@@ -1,0 +1,189 @@
+#include "controller/controller.hpp"
+
+#include <cassert>
+
+namespace planck::controller {
+
+Controller::Controller(sim::Simulation& simulation,
+                       const net::TopologyGraph& graph,
+                       const ControllerConfig& config)
+    : sim_(simulation),
+      graph_(graph),
+      config_(config),
+      routing_(graph),
+      rng_(config.seed) {
+  hosts_.resize(static_cast<std::size_t>(graph.num_hosts()), nullptr);
+}
+
+void Controller::attach_switch(int graph_node, switchsim::Switch* sw,
+                               int monitor_port) {
+  switches_[graph_node] = SwitchAttachment{sw, monitor_port};
+}
+
+void Controller::attach_collector(int graph_node,
+                                  core::Collector* collector) {
+  collectors_[graph_node] = collector;
+}
+
+void Controller::attach_host(int host_index, tcp::Host* host) {
+  hosts_[static_cast<std::size_t>(host_index)] = host;
+}
+
+void Controller::install_routes() {
+  install_switch_rules();
+  push_route_views();
+  install_host_arp();
+  for (auto& [node, att] : switches_) {
+    if (att.monitor_port >= 0) att.sw->set_mirroring(att.monitor_port);
+  }
+}
+
+void Controller::install_switch_rules() {
+  const int n = routing_.num_hosts();
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      for (int t = 0; t < routing_.num_trees(); ++t) {
+        const net::RoutePath& p = routing_.path(s, d, t);
+        const net::MacAddress routing_mac = net::host_mac(d, t);
+        for (std::size_t i = 0; i < p.hops.size(); ++i) {
+          const net::PathHop& hop = p.hops[i];
+          const auto it = switches_.find(hop.switch_node);
+          if (it == switches_.end()) continue;
+          switchsim::RuleActions actions;
+          actions.out_port = hop.out_port;
+          // Egress switch restores the base MAC so the host accepts the
+          // frame (§6.2, "Rewrite to Base MAC").
+          if (t != 0 && i + 1 == p.hops.size()) {
+            actions.set_dst_mac = net::host_mac(d, 0);
+          }
+          it->second.sw->rules().set_mac_rule(routing_mac, actions);
+        }
+      }
+    }
+  }
+}
+
+void Controller::push_route_views() {
+  std::unordered_map<int, net::SwitchRouteView> views;
+  const int n = routing_.num_hosts();
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      for (int t = 0; t < routing_.num_trees(); ++t) {
+        const net::RoutePath& p = routing_.path(s, d, t);
+        const net::MacAddress dst_mac = net::host_mac(d, t);
+        const net::MacAddress src_mac = net::host_mac(s, 0);
+        for (const net::PathHop& hop : p.hops) {
+          net::SwitchRouteView& view = views[hop.switch_node];
+          view.out_port_by_dst[dst_mac] = hop.out_port;
+          view.in_port_by_pair[net::MacPair{src_mac, dst_mac}] = hop.in_port;
+        }
+      }
+    }
+  }
+  for (auto& [node, collector] : collectors_) {
+    collector->update_route_view(views[node]);
+    for (int port = 0; port < graph_.num_ports(node); ++port) {
+      if (graph_.wired(node, port)) {
+        collector->set_link_capacity(port,
+                                     graph_.link_spec(node, port).rate_bps);
+      }
+    }
+  }
+}
+
+void Controller::install_host_arp() {
+  const int n = routing_.num_hosts();
+  for (int s = 0; s < n; ++s) {
+    tcp::Host* host = hosts_[static_cast<std::size_t>(s)];
+    if (host == nullptr) continue;
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      host->set_arp(net::host_ip(d), net::host_mac(d, 0));
+    }
+  }
+}
+
+void Controller::reroute_flow(const net::FlowKey& key, int tree,
+                              RerouteMechanism mechanism) {
+  assert(tree >= 0 && tree < routing_.num_trees());
+  const int src_host = net::host_id_of_ip(key.src_ip);
+  const int dst_host = net::host_id_of_ip(key.dst_ip);
+  assert(src_host >= 0 && dst_host >= 0);
+  tree_assignment_[key] = tree;
+
+  // Ingress switch: the first hop of the source's base path.
+  const net::RoutePath& base = routing_.path(src_host, dst_host, 0);
+  assert(!base.hops.empty());
+  const int ingress_node = base.hops.front().switch_node;
+  const int ingress_in_port = base.hops.front().in_port;
+  const auto it = switches_.find(ingress_node);
+  if (it == switches_.end()) return;
+  switchsim::Switch* ingress = it->second.sw;
+
+  if (mechanism == RerouteMechanism::kArp) {
+    ++arp_reroutes_;
+    // Packet-out of a spoofed unicast ARP request via the ingress switch:
+    // "from" the destination IP, advertising the shadow MAC (§6.2).
+    net::Packet arp;
+    arp.proto = net::Protocol::kArp;
+    arp.arp_op = net::ArpOp::kRequest;
+    arp.src_ip = key.dst_ip;
+    arp.dst_ip = key.src_ip;
+    arp.arp_mac = net::host_mac(dst_host, tree);
+    arp.src_mac = net::host_mac(dst_host, tree);
+    arp.dst_mac = net::host_mac(src_host, 0);
+    const int host_port = ingress_in_port;
+    sim_.schedule(config_.control_latency + config_.packet_out_delay,
+                  [ingress, arp, host_port] {
+                    ingress->inject(arp, host_port);
+                  });
+  } else {
+    ++openflow_reroutes_;
+    // Flow-mod: rewrite the destination MAC at the ingress switch, then
+    // re-resolve the output from the MAC table. TCAM install time is the
+    // dominant latency (Figure 16).
+    const sim::Duration install =
+        config_.of_install_min +
+        static_cast<sim::Duration>(rng_.uniform() *
+                                   static_cast<double>(
+                                       config_.of_install_max -
+                                       config_.of_install_min));
+    switchsim::RuleActions actions;
+    actions.set_dst_mac = net::host_mac(dst_host, tree);
+    const net::FlowKey k = key;
+    sim_.schedule(config_.control_latency + install, [ingress, k, actions] {
+      ingress->rules().set_flow_rule(k, actions);
+    });
+  }
+}
+
+void Controller::subscribe_congestion(CongestionHandler handler) {
+  congestion_handlers_.push_back(std::move(handler));
+  if (congestion_handlers_.size() == 1) {
+    // First subscriber: hook every collector, relaying with one
+    // control-channel latency.
+    for (auto& [node, collector] : collectors_) {
+      collector->subscribe_congestion([this](const core::CongestionEvent& e) {
+        sim_.schedule(config_.control_latency, [this, e] {
+          for (const auto& h : congestion_handlers_) h(e);
+        });
+      });
+    }
+  }
+}
+
+void Controller::query_link_utilization(int switch_node, int out_port,
+                                        std::function<void(double)> reply) {
+  const auto it = collectors_.find(switch_node);
+  if (it == collectors_.end()) return;
+  core::Collector* collector = it->second;
+  sim_.schedule(config_.control_latency, [this, collector, out_port,
+                                          reply = std::move(reply)] {
+    const double util = collector->link_utilization_bps(out_port);
+    sim_.schedule(config_.control_latency, [reply, util] { reply(util); });
+  });
+}
+
+}  // namespace planck::controller

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/routing.hpp"
+#include "core/collector.hpp"
+#include "net/packet.hpp"
+#include "net/route_info.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "switchsim/switch.hpp"
+#include "tcp/host.hpp"
+
+namespace planck::controller {
+
+/// How a flow is moved to an alternate pre-installed path (§6.2).
+enum class RerouteMechanism {
+  /// Spoofed unicast ARP request updates the source host's ARP cache; no
+  /// switch state is touched. Fast (~2.5-3.5 ms response in the paper).
+  kArp,
+  /// An OpenFlow rule at the source's ingress switch rewrites the
+  /// destination MAC. Slower (~4-9 ms) because of TCAM install latency.
+  kOpenFlow,
+};
+
+struct ControllerConfig {
+  /// One-way latency of a control-channel message (controller <-> switch
+  /// or collector): an RPC on the management network.
+  sim::Duration control_latency = sim::microseconds(150);
+  /// TCAM rule-install latency range on the switch control plane; the
+  /// dominant cost of OpenFlow-based rerouting (Figure 16: 4-9 ms
+  /// responses, median over 7 ms).
+  sim::Duration of_install_min = sim::milliseconds(3);
+  sim::Duration of_install_max = sim::milliseconds(7);
+  /// Latency of an OpenFlow packet-out traversing the switch control-plane
+  /// CPU before the frame enters the data plane (the ARP reroute path).
+  sim::Duration packet_out_delay = sim::milliseconds(1);
+  std::uint64_t seed = 1;
+};
+
+/// The Planck SDN controller (§3.3, §4.1): installs PAST + shadow-MAC
+/// routes and mirror rules, keeps collectors informed of topology and
+/// forwarding state, relays collector events to applications, and executes
+/// reroutes via ARP spoofing or OpenFlow.
+class Controller {
+ public:
+  using CongestionHandler =
+      std::function<void(const core::CongestionEvent&)>;
+
+  Controller(sim::Simulation& simulation, const net::TopologyGraph& graph,
+             const ControllerConfig& config);
+
+  // --- testbed wiring (before install_routes) ----------------------------
+  void attach_switch(int graph_node, switchsim::Switch* sw,
+                     int monitor_port);
+  void attach_collector(int graph_node, core::Collector* collector);
+  void attach_host(int host_index, tcp::Host* host);
+
+  /// Computes all routing trees and pushes state everywhere: MAC rules
+  /// (including shadow trees and egress rewrites), mirror configuration,
+  /// host ARP entries for the base tree, and the collectors' route views
+  /// and link capacities (§4.1).
+  void install_routes();
+
+  const Routing& routing() const { return routing_; }
+  const net::TopologyGraph& graph() const { return graph_; }
+
+  /// The tree a flow was last routed onto (0 until rerouted).
+  int tree_of(const net::FlowKey& key) const {
+    const auto it = tree_assignment_.find(key);
+    return it == tree_assignment_.end() ? 0 : it->second;
+  }
+
+  /// Moves `key` onto `tree`. Destination/source hosts are derived from
+  /// the flow's addresses. The change is applied after the mechanism's
+  /// modelled latency; the assignment is recorded immediately.
+  void reroute_flow(const net::FlowKey& key, int tree,
+                    RerouteMechanism mechanism);
+
+  /// Subscribes an application to congestion events from every collector;
+  /// delivery incurs one control-channel latency (§3.3).
+  void subscribe_congestion(CongestionHandler handler);
+
+  /// Forwards a statistics query to the right collector; the reply arrives
+  /// after a control-channel round trip. This is the drop-in low-latency
+  /// statistics API of §3.3.
+  void query_link_utilization(int switch_node, int out_port,
+                              std::function<void(double)> reply);
+
+  std::uint64_t arp_reroutes() const { return arp_reroutes_; }
+  std::uint64_t openflow_reroutes() const { return openflow_reroutes_; }
+
+ private:
+  struct SwitchAttachment {
+    switchsim::Switch* sw = nullptr;
+    int monitor_port = -1;
+  };
+
+  void install_switch_rules();
+  void push_route_views();
+  void install_host_arp();
+
+  sim::Simulation& sim_;
+  const net::TopologyGraph& graph_;
+  ControllerConfig config_;
+  Routing routing_;
+  sim::Rng rng_;
+
+  std::unordered_map<int, SwitchAttachment> switches_;   // by graph node
+  std::unordered_map<int, core::Collector*> collectors_;  // by graph node
+  std::vector<tcp::Host*> hosts_;                          // by host index
+
+  std::unordered_map<net::FlowKey, int, net::FlowKeyHash> tree_assignment_;
+  std::vector<CongestionHandler> congestion_handlers_;
+
+  std::uint64_t arp_reroutes_ = 0;
+  std::uint64_t openflow_reroutes_ = 0;
+};
+
+}  // namespace planck::controller

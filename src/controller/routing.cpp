@@ -1,0 +1,120 @@
+#include "controller/routing.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace planck::controller {
+
+using namespace net::fat_tree;
+
+Routing::Routing(const net::TopologyGraph& graph)
+    : graph_(graph), num_hosts_(graph.num_hosts()) {
+  // Recognize the two supported shapes structurally.
+  is_fat_tree_ = graph.num_hosts() == kNumHosts &&
+                 graph.num_switches() == kNumSwitches;
+  if (!is_fat_tree_ && graph.num_switches() != 1) {
+    throw std::invalid_argument(
+        "Routing supports make_fat_tree_16 and make_star graphs");
+  }
+  num_trees_ = is_fat_tree_ ? kNumCore : 1;
+
+  paths_.resize(static_cast<std::size_t>(num_hosts_) *
+                static_cast<std::size_t>(num_hosts_) *
+                static_cast<std::size_t>(num_trees_));
+  for (int s = 0; s < num_hosts_; ++s) {
+    for (int d = 0; d < num_hosts_; ++d) {
+      for (int t = 0; t < num_trees_; ++t) {
+        auto& slot =
+            paths_[(static_cast<std::size_t>(s) *
+                        static_cast<std::size_t>(num_hosts_) +
+                    static_cast<std::size_t>(d)) *
+                       static_cast<std::size_t>(num_trees_) +
+                   static_cast<std::size_t>(t)];
+        if (s == d) {
+          slot = net::RoutePath{s, d, t, {}};
+        } else {
+          slot = is_fat_tree_ ? compute_fat_tree_path(s, d, t)
+                              : compute_star_path(s, d);
+          slot.tree = t;
+        }
+      }
+    }
+  }
+}
+
+const net::RoutePath& Routing::path(int src_host, int dst_host,
+                                    int tree) const {
+  assert(src_host >= 0 && src_host < num_hosts_);
+  assert(dst_host >= 0 && dst_host < num_hosts_);
+  assert(tree >= 0 && tree < num_trees_);
+  return paths_[(static_cast<std::size_t>(src_host) *
+                     static_cast<std::size_t>(num_hosts_) +
+                 static_cast<std::size_t>(dst_host)) *
+                    static_cast<std::size_t>(num_trees_) +
+                static_cast<std::size_t>(tree)];
+}
+
+net::RoutePath Routing::compute_fat_tree_path(int src, int dst,
+                                              int tree) const {
+  net::RoutePath p;
+  p.src_host = src;
+  p.dst_host = dst;
+  p.tree = tree;
+
+  const int ps = pod_of_host(src);
+  const int pd = pod_of_host(dst);
+  const int es = edge_of_host(src);
+  const int ed = edge_of_host(dst);
+  const int leaf_s = src % 2;
+  const int leaf_d = dst % 2;
+  // Relative tree -> absolute core for this destination (PAST hashing).
+  const int core_idx = (base_core(dst) + tree) % kNumCore;
+  const int a = agg_for_core(core_idx);
+
+  const int edge_s = graph_.switch_node(edge_switch_index(ps, es));
+  const int edge_d = graph_.switch_node(edge_switch_index(pd, ed));
+
+  if (ps == pd && es == ed) {
+    p.hops.push_back({edge_s, leaf_s, leaf_d});
+    return p;
+  }
+  if (ps == pd) {
+    const int agg = graph_.switch_node(agg_switch_index(ps, a));
+    p.hops.push_back({edge_s, leaf_s, 2 + a});
+    p.hops.push_back({agg, es, ed});
+    p.hops.push_back({edge_d, 2 + a, leaf_d});
+    return p;
+  }
+  const int agg_s = graph_.switch_node(agg_switch_index(ps, a));
+  const int agg_d = graph_.switch_node(agg_switch_index(pd, a));
+  const int core = graph_.switch_node(core_switch_index(core_idx));
+  p.hops.push_back({edge_s, leaf_s, 2 + a});
+  p.hops.push_back({agg_s, es, agg_port_for_core(core_idx)});
+  p.hops.push_back({core, ps, pd});
+  p.hops.push_back({agg_d, agg_port_for_core(core_idx), ed});
+  p.hops.push_back({edge_d, 2 + a, leaf_d});
+  return p;
+}
+
+net::RoutePath Routing::compute_star_path(int src, int dst) const {
+  net::RoutePath p;
+  p.src_host = src;
+  p.dst_host = dst;
+  p.tree = 0;
+  const int sw = graph_.switch_node(0);
+  // Star wiring: host h occupies switch port h.
+  p.hops.push_back({sw, src, dst});
+  return p;
+}
+
+std::vector<net::DirectedLink> Routing::links_on_path(
+    const net::RoutePath& p) const {
+  std::vector<net::DirectedLink> links;
+  links.reserve(p.hops.size());
+  for (const net::PathHop& hop : p.hops) {
+    links.push_back(net::DirectedLink{hop.switch_node, hop.out_port});
+  }
+  return links;
+}
+
+}  // namespace planck::controller

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/route_info.hpp"
+#include "net/topology.hpp"
+
+namespace planck::controller {
+
+/// Offline multipath route computation (§6.2): PAST-style per-address
+/// spanning trees. On the 16-host fat-tree each core switch defines one
+/// spanning tree, giving four pre-installable paths per destination (the
+/// base tree plus three shadow-MAC trees). On a star topology there is a
+/// single trivial tree.
+class Routing {
+ public:
+  /// Computes all trees for `graph`. Supported graphs: make_fat_tree_16
+  /// (4 trees) and make_star (1 tree).
+  explicit Routing(const net::TopologyGraph& graph);
+
+  /// Tree indices are *relative to the destination*: tree 0 (the base
+  /// MAC's tree) maps to a pseudo-random core per destination, spreading
+  /// base routes the way PAST/ECMP hashing does (§6.2); trees 1..3 are the
+  /// shadow-MAC alternates on the remaining cores. The absolute core used
+  /// by (dst, tree) is (base_core(dst) + tree) % 4.
+  static int base_core(int dst_host) {
+    // splitmix64-style mix so consecutive hosts land on unrelated cores.
+    std::uint64_t z = static_cast<std::uint64_t>(dst_host) +
+                      0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<int>((z ^ (z >> 31)) % 4);
+  }
+
+  int num_trees() const { return num_trees_; }
+  int num_hosts() const { return num_hosts_; }
+
+  /// The path from src to dst (host indices) on `tree`. Paths between a
+  /// host and itself are empty.
+  const net::RoutePath& path(int src_host, int dst_host, int tree) const;
+
+  /// All switch nodes a path crosses share these links; used by TE for
+  /// bottleneck computation. Directed links along the path, in order,
+  /// including the final switch->host hop and excluding host->switch (hosts
+  /// are the senders' own NICs).
+  std::vector<net::DirectedLink> links_on_path(const net::RoutePath& p) const;
+
+  const net::TopologyGraph& graph() const { return graph_; }
+
+ private:
+  net::RoutePath compute_fat_tree_path(int src, int dst, int tree) const;
+  net::RoutePath compute_star_path(int src, int dst) const;
+
+  const net::TopologyGraph& graph_;
+  int num_trees_ = 1;
+  int num_hosts_ = 0;
+  bool is_fat_tree_ = false;
+  // paths_[ (src * num_hosts + dst) * num_trees + tree ]
+  std::vector<net::RoutePath> paths_;
+};
+
+}  // namespace planck::controller

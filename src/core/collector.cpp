@@ -1,0 +1,123 @@
+#include "core/collector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace planck::core {
+
+Collector::Collector(sim::Simulation& simulation, std::string name,
+                     int switch_node, const CollectorConfig& config)
+    : sim_(simulation),
+      name_(std::move(name)),
+      switch_node_(switch_node),
+      config_(config),
+      flows_(config.estimator),
+      sweep_timer_(simulation, [this] { sweep(); }) {
+  sweep_timer_.schedule(config_.sweep_interval);
+}
+
+void Collector::handle_packet(const net::Packet& packet, int /*in_port*/) {
+  ++samples_received_;
+
+  if (ring_.size() >= config_.sample_ring_capacity) ring_.pop_front();
+  ring_.push_back(Sample{sim_.now(), packet});
+  if (sample_hook_) sample_hook_(ring_.back());
+
+  if (packet.proto == net::Protocol::kArp) return;
+
+  FlowRecord& rec = flows_.upsert(packet.flow_key(), sim_.now());
+  rec.src_mac = packet.src_mac;
+  rec.dst_mac = packet.dst_mac;
+  ++rec.samples;
+  rec.sample_bytes += packet.payload;
+
+  // Port inference from the controller-shared forwarding view (§3.2.1).
+  const int out = route_view_.out_port(packet.dst_mac);
+  const int in = route_view_.in_port(packet.src_mac, packet.dst_mac);
+  if (out < 0) ++inference_misses_;
+  rec.in_port = in;
+  if (out != rec.out_port) {
+    // The flow moved to a different link (reroute): migrate its
+    // utilization contribution.
+    if (rec.contributing_bps > 0.0 && rec.out_port >= 0) {
+      util_bps_[rec.out_port] -= rec.contributing_bps;
+      rec.contributing_bps = 0.0;
+    }
+    rec.out_port = out;
+  }
+
+  if (packet.payload == 0) return;  // pure ACKs carry no byte-count delta
+
+  if (rec.estimator.add_sample(sim_.now(), packet.seq, packet.payload) &&
+      rec.out_port >= 0) {
+    const double rate = rec.estimator.rate_bps();
+    util_bps_[rec.out_port] += rate - rec.contributing_bps;
+    rec.contributing_bps = rate;
+    maybe_fire_event(rec.out_port);
+  }
+}
+
+double Collector::link_utilization_bps(int out_port) const {
+  const auto it = util_bps_.find(out_port);
+  return it == util_bps_.end() ? 0.0 : std::max(0.0, it->second);
+}
+
+std::vector<FlowRate> Collector::flows_on_link(int out_port) const {
+  std::vector<FlowRate> out;
+  for (const auto& [key, rec] : flows_.flows()) {
+    if (rec.out_port != out_port || rec.contributing_bps <= 0.0) continue;
+    out.push_back(FlowRate{key, rec.src_mac, rec.dst_mac, rec.rate_bps()});
+  }
+  std::sort(out.begin(), out.end(), [](const FlowRate& a, const FlowRate& b) {
+    return a.rate_bps > b.rate_bps;
+  });
+  return out;
+}
+
+void Collector::maybe_fire_event(int out_port) {
+  const auto cap_it = link_capacity_.find(out_port);
+  if (cap_it == link_capacity_.end()) return;
+  const double util = link_utilization_bps(out_port);
+  if (util < config_.congestion_threshold *
+                 static_cast<double>(cap_it->second)) {
+    return;
+  }
+  auto& last = last_event_[out_port];
+  if (last != 0 && sim_.now() - last < config_.event_debounce) return;
+  last = sim_.now();
+
+  CongestionEvent event;
+  event.switch_node = switch_node_;
+  event.out_port = out_port;
+  event.utilization_bps = util;
+  event.capacity_bps = cap_it->second;
+  event.detected_at = sim_.now();
+  event.flows = flows_on_link(out_port);
+  ++events_fired_;
+  for (const auto& handler : congestion_handlers_) handler(event);
+}
+
+void Collector::sweep() {
+  const sim::Time now = sim_.now();
+
+  // Stale rate estimates stop counting toward utilization.
+  for (auto& [key, rec] : flows_.mutable_flows()) {
+    if (rec.contributing_bps > 0.0 &&
+        now - rec.estimator.estimated_at() > config_.rate_staleness) {
+      if (rec.out_port >= 0) util_bps_[rec.out_port] -= rec.contributing_bps;
+      rec.contributing_bps = 0.0;
+    }
+  }
+
+  // Evict idle flows entirely.
+  for (const FlowRecord& rec :
+       flows_.evict_idle(now - config_.flow_idle_timeout)) {
+    if (rec.contributing_bps > 0.0 && rec.out_port >= 0) {
+      util_bps_[rec.out_port] -= rec.contributing_bps;
+    }
+  }
+
+  sweep_timer_.schedule(config_.sweep_interval);
+}
+
+}  // namespace planck::core

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flow_table.hpp"
+#include "core/rate_estimator.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/route_info.hpp"
+#include "sim/simulation.hpp"
+#include "sim/timer.hpp"
+
+namespace planck::core {
+
+/// A timestamped sample held in the collector's ring buffer (vantage-point
+/// monitoring, §6.1).
+struct Sample {
+  sim::Time received_at = 0;
+  net::Packet packet;
+};
+
+/// Per-flow rate annotation attached to a congestion event (§3.3).
+struct FlowRate {
+  net::FlowKey key;
+  net::MacAddress src_mac = net::kMacNone;
+  net::MacAddress dst_mac = net::kMacNone;
+  double rate_bps = 0.0;
+};
+
+/// Event fired when a link's estimated utilization crosses the configured
+/// threshold. Includes the flows using the link and their rates so the
+/// receiver can act without a follow-up query (§3.3).
+struct CongestionEvent {
+  int switch_node = -1;  // TopologyGraph node id of the monitored switch
+  int out_port = -1;     // congested output port (link)
+  double utilization_bps = 0.0;
+  std::int64_t capacity_bps = 0;
+  sim::Time detected_at = 0;
+  std::vector<FlowRate> flows;
+};
+
+struct CollectorConfig {
+  EstimatorConfig estimator;
+  /// Utilization fraction of link capacity above which a congestion event
+  /// fires.
+  double congestion_threshold = 0.90;
+  /// Minimum spacing of events per link, so a persistently hot link does
+  /// not flood the controller.
+  sim::Duration event_debounce = sim::milliseconds(1);
+  /// A flow whose estimate is older than this no longer contributes to
+  /// link utilization.
+  sim::Duration rate_staleness = sim::milliseconds(5);
+  /// Idle flows are evicted from the flow table after this long.
+  sim::Duration flow_idle_timeout = sim::seconds(1);
+  /// Housekeeping sweep period (staleness + eviction).
+  sim::Duration sweep_interval = sim::milliseconds(1);
+  /// Raw-sample ring capacity for the vantage-point application (§6.1).
+  std::size_t sample_ring_capacity = 4096;
+};
+
+/// A Planck collector instance: attached to one switch's monitor port,
+/// processes the mirrored sample stream at line rate, maintains the flow
+/// table and per-link utilization, answers queries, and publishes
+/// congestion events (§3.2, §4.2).
+class Collector : public net::Node {
+ public:
+  using CongestionHandler = std::function<void(const CongestionEvent&)>;
+  /// Raw per-sample hook for benches/analysis tools.
+  using SampleHook = std::function<void(const Sample&)>;
+
+  Collector(sim::Simulation& simulation, std::string name, int switch_node,
+            const CollectorConfig& config);
+
+  const std::string& name() const { return name_; }
+  int switch_node() const { return switch_node_; }
+
+  // --- sample intake ------------------------------------------------------
+  void handle_packet(const net::Packet& packet, int in_port) override;
+
+  // --- control-plane inputs (§3.3) ---------------------------------------
+  /// Replaces the forwarding view used for in/out-port inference.
+  void update_route_view(net::SwitchRouteView view) {
+    route_view_ = std::move(view);
+  }
+  /// Declares the capacity of the link on `out_port` (needed to judge
+  /// congestion).
+  void set_link_capacity(int out_port, std::int64_t bps) {
+    link_capacity_[out_port] = bps;
+  }
+
+  // --- queries (§4.2) -----------------------------------------------------
+  /// (i) Estimated utilization of the link on `out_port`, bits per second.
+  double link_utilization_bps(int out_port) const;
+  /// (ii) Rate estimates of flows currently crossing `out_port`.
+  std::vector<FlowRate> flows_on_link(int out_port) const;
+  /// (iii) The most recent raw samples (newest last).
+  const std::deque<Sample>& raw_samples() const { return ring_; }
+
+  const FlowTable& flow_table() const { return flows_; }
+
+  // --- subscriptions ------------------------------------------------------
+  void subscribe_congestion(CongestionHandler handler) {
+    congestion_handlers_.push_back(std::move(handler));
+  }
+  void set_sample_hook(SampleHook hook) { sample_hook_ = std::move(hook); }
+
+  // --- statistics ---------------------------------------------------------
+  std::uint64_t samples_received() const { return samples_received_; }
+  std::uint64_t events_fired() const { return events_fired_; }
+  std::uint64_t inference_misses() const { return inference_misses_; }
+
+  const CollectorConfig& config() const { return config_; }
+
+ private:
+  void on_rate_update(FlowRecord& rec, double old_rate);
+  void maybe_fire_event(int out_port);
+  void sweep();
+
+  sim::Simulation& sim_;
+  std::string name_;
+  int switch_node_;
+  CollectorConfig config_;
+
+  net::SwitchRouteView route_view_;
+  FlowTable flows_;
+
+  // Incrementally maintained: sum of fresh flow-rate estimates per output
+  // port. The sweep removes stale contributions.
+  std::unordered_map<int, double> util_bps_;
+  std::unordered_map<int, std::int64_t> link_capacity_;
+  std::unordered_map<int, sim::Time> last_event_;
+
+  std::deque<Sample> ring_;
+  std::vector<CongestionHandler> congestion_handlers_;
+  SampleHook sample_hook_;
+
+  std::uint64_t samples_received_ = 0;
+  std::uint64_t events_fired_ = 0;
+  std::uint64_t inference_misses_ = 0;
+
+  sim::Timer sweep_timer_;
+};
+
+}  // namespace planck::core

@@ -1,0 +1,26 @@
+#include "net/addresses.hpp"
+
+#include <cstdio>
+
+namespace planck::net {
+
+std::string mac_to_string(MacAddress mac) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((mac >> 40) & 0xff),
+                static_cast<unsigned>((mac >> 32) & 0xff),
+                static_cast<unsigned>((mac >> 24) & 0xff),
+                static_cast<unsigned>((mac >> 16) & 0xff),
+                static_cast<unsigned>((mac >> 8) & 0xff),
+                static_cast<unsigned>(mac & 0xff));
+  return buf;
+}
+
+std::string ip_to_string(IpAddress ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+}  // namespace planck::net

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace planck::net {
+
+/// Ethernet MAC address held in the low 48 bits of a 64-bit integer.
+using MacAddress = std::uint64_t;
+
+/// IPv4 address in host byte order.
+using IpAddress = std::uint32_t;
+
+inline constexpr MacAddress kMacNone = 0;
+/// Broadcast MAC (all ones in 48 bits).
+inline constexpr MacAddress kMacBroadcast = 0xffff'ffff'ffffULL;
+
+/// Base OUI for real host MACs: 02:00:00:00:00:00 (locally administered).
+inline constexpr MacAddress kHostMacBase = 0x0200'0000'0000ULL;
+
+/// Shadow MAC addresses (§6.2): each host gets one extra MAC per alternate
+/// routing tree, drawn from a distinct locally-administered OUI per tree so
+/// the tree index is recoverable from the address.
+inline constexpr MacAddress kShadowMacBase = 0x0600'0000'0000ULL;
+inline constexpr MacAddress kShadowTreeStride = 0x0001'0000'0000ULL;
+
+/// MAC of host `host_id` on routing tree `tree`. Tree 0 is the base tree
+/// (the host's real MAC); trees >= 1 are shadow MACs.
+constexpr MacAddress host_mac(int host_id, int tree = 0) {
+  if (tree == 0) return kHostMacBase + static_cast<MacAddress>(host_id);
+  return kShadowMacBase +
+         static_cast<MacAddress>(tree - 1) * kShadowTreeStride +
+         static_cast<MacAddress>(host_id);
+}
+
+/// True if `mac` is a shadow MAC; if so also yields tree (>=1) and host id.
+constexpr bool is_shadow_mac(MacAddress mac, int* tree = nullptr,
+                             int* host_id = nullptr) {
+  if (mac < kShadowMacBase) return false;
+  const MacAddress off = mac - kShadowMacBase;
+  const auto t = static_cast<int>(off / kShadowTreeStride);
+  if (t >= 8) return false;  // more trees than any topology here provisions
+  if (tree != nullptr) *tree = t + 1;
+  if (host_id != nullptr) {
+    *host_id = static_cast<int>(off % kShadowTreeStride);
+  }
+  return true;
+}
+
+/// Host id encoded in a base (non-shadow) host MAC, or -1.
+constexpr int host_id_of_mac(MacAddress mac) {
+  if (is_shadow_mac(mac)) {
+    int id = -1;
+    int tree = 0;
+    is_shadow_mac(mac, &tree, &id);
+    return id;
+  }
+  if (mac >= kHostMacBase && mac < kHostMacBase + 0x1'0000'0000ULL) {
+    return static_cast<int>(mac - kHostMacBase);
+  }
+  return -1;
+}
+
+/// IPv4 address of host `host_id`: 10.0.(id/250).(id%250 + 1) — 250 hosts
+/// per /24 so the last octet never reaches 255.
+constexpr IpAddress host_ip(int host_id) {
+  return (10u << 24) | (static_cast<IpAddress>(host_id / 250) << 8) |
+         (static_cast<IpAddress>(host_id % 250) + 1);
+}
+
+/// Host id for an IP produced by host_ip(), or -1.
+constexpr int host_id_of_ip(IpAddress ip) {
+  if ((ip >> 24) != 10u) return -1;
+  const int third = static_cast<int>((ip >> 8) & 0xff);
+  const int fourth = static_cast<int>(ip & 0xff);
+  if (fourth == 0 || fourth > 250) return -1;
+  return third * 250 + fourth - 1;
+}
+
+std::string mac_to_string(MacAddress mac);
+std::string ip_to_string(IpAddress ip);
+
+}  // namespace planck::net

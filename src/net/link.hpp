@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace planck::net {
+
+/// A unidirectional wire: fixed rate, fixed propagation delay, no queue.
+/// Queueing lives in the transmitter (NIC queue / switch port queue); the
+/// link just models serialization + propagation. The transmitter must
+/// respect free_at() — transmit() asserts the line is idle.
+class Link {
+ public:
+  Link(sim::Simulation& simulation, std::int64_t rate_bps,
+       sim::Duration propagation)
+      : sim_(simulation), rate_bps_(rate_bps), propagation_(propagation) {
+    assert(rate_bps > 0);
+  }
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Attaches the receiving end.
+  void connect(Node* destination, int destination_port) {
+    dst_ = destination;
+    dst_port_ = destination_port;
+  }
+
+  bool connected() const { return dst_ != nullptr; }
+  std::int64_t rate_bps() const { return rate_bps_; }
+  sim::Duration propagation() const { return propagation_; }
+
+  /// Time at which the line becomes idle (>= now when busy).
+  sim::Time free_at() const { return free_at_; }
+  bool busy() const { return free_at_ > sim_.now(); }
+
+  /// Puts `packet` on the wire now. Precondition: !busy() and connected().
+  /// Returns the time the transmitter's line becomes free (now + serialize).
+  /// Delivery at the far end happens serialize + propagation from now.
+  ///
+  /// Serialization time is tracked with a fractional-nanosecond carry so
+  /// the link's *average* rate is exact: without it, rounding each packet
+  /// up to whole nanoseconds would quantize away sub-0.1% rate differences
+  /// (e.g. the clock-tolerance skews the testbed applies) and make
+  /// nominally different links tick in perfect lockstep.
+  sim::Time transmit(const Packet& packet) {
+    assert(!busy());
+    assert(connected());
+    const double exact_ns = static_cast<double>(packet.wire_size()) * 8.0 *
+                                1e9 / static_cast<double>(rate_bps_) +
+                            carry_ns_;
+    auto ser = static_cast<sim::Duration>(exact_ns);
+    if (ser < 1) ser = 1;
+    carry_ns_ = exact_ns - static_cast<double>(ser);
+    free_at_ = sim_.now() + ser;
+    Node* dst = dst_;
+    const int port = dst_port_;
+    Packet copy = packet;
+    sim_.schedule(ser + propagation_, [dst, port, copy] {
+      dst->handle_packet(copy, port);
+    });
+    ++packets_sent_;
+    bytes_sent_ += packet.wire_size();
+    return free_at_;
+  }
+
+  /// Serialization time for a packet of this size on this link.
+  sim::Duration serialization(const Packet& packet) const {
+    return sim::serialization_delay(packet.wire_size(), rate_bps_);
+  }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::int64_t rate_bps_;
+  sim::Duration propagation_;
+  Node* dst_ = nullptr;
+  int dst_port_ = 0;
+  sim::Time free_at_ = 0;
+  double carry_ns_ = 0.0;
+  std::uint64_t packets_sent_ = 0;
+  std::int64_t bytes_sent_ = 0;
+};
+
+}  // namespace planck::net

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "net/packet.hpp"
+
+namespace planck::net {
+
+/// Anything that terminates a link: a host NIC, a switch port, a collector.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Delivery of a fully received packet on `in_port` (the receiver's local
+  /// port index).
+  virtual void handle_packet(const Packet& packet, int in_port) = 0;
+};
+
+}  // namespace planck::net

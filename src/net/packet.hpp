@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/addresses.hpp"
+#include "sim/time.hpp"
+
+namespace planck::net {
+
+/// Layer-4 protocol of a simulated packet.
+enum class Protocol : std::uint8_t {
+  kTcp,
+  kUdp,
+  kArp,
+};
+
+/// TCP header flag bits.
+enum TcpFlag : std::uint8_t {
+  kSyn = 1u << 0,
+  kAck = 1u << 1,
+  kFin = 1u << 2,
+  kRst = 1u << 3,
+  kPsh = 1u << 4,
+};
+
+/// ARP operation (carried in Packet::arp_op when proto == kArp).
+enum class ArpOp : std::uint8_t {
+  kNone = 0,
+  kRequest = 1,
+  kReply = 2,
+};
+
+/// Header byte accounting, used for wire-time and utilization math.
+/// Ethernet header 14 + FCS 4 = 18; preamble 8 + min inter-packet gap 12 =
+/// 20 on-wire overhead; IPv4 20; TCP 20.
+inline constexpr std::int64_t kEthernetOverhead = 18;
+inline constexpr std::int64_t kWireGap = 20;
+inline constexpr std::int64_t kIpHeader = 20;
+inline constexpr std::int64_t kTcpHeader = 20;
+inline constexpr std::int64_t kMss = 1460;  // payload of a full-size segment
+inline constexpr std::int64_t kMtuFrame =
+    kMss + kTcpHeader + kIpHeader + kEthernetOverhead;  // 1518
+inline constexpr std::int64_t kMtuWire = kMtuFrame + kWireGap;  // 1538
+
+/// 5-tuple identifying a transport flow.
+struct FlowKey {
+  IpAddress src_ip = 0;
+  IpAddress dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol proto = Protocol::kTcp;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// The reverse direction of this flow (for matching ACKs).
+  FlowKey reversed() const {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    };
+    mix((static_cast<std::uint64_t>(k.src_ip) << 32) | k.dst_ip);
+    mix((static_cast<std::uint64_t>(k.src_port) << 32) |
+        (static_cast<std::uint64_t>(k.dst_port) << 8) |
+        static_cast<std::uint64_t>(k.proto));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// A simulated packet. Passed by value: small, trivially copyable, no
+/// ownership. Mirrored copies are literal copies of this struct.
+struct Packet {
+  MacAddress src_mac = kMacNone;
+  MacAddress dst_mac = kMacNone;
+  IpAddress src_ip = 0;
+  IpAddress dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol proto = Protocol::kTcp;
+  std::uint8_t flags = 0;
+  ArpOp arp_op = ArpOp::kNone;
+
+  /// TCP sequence number: offset of the first payload byte (paper §3.2.2
+  /// uses these as byte counters for rate estimation).
+  std::uint64_t seq = 0;
+  /// Cumulative ACK: next byte expected by the receiver.
+  std::uint64_t ack = 0;
+  /// First SACK block: the receiver's lowest out-of-order range
+  /// [sack_start, sack_end). Both zero when absent. One block is enough to
+  /// let the sender bound the hole and do SACK-style recovery.
+  std::uint64_t sack_start = 0;
+  std::uint64_t sack_end = 0;
+  /// Payload bytes in this segment.
+  std::uint32_t payload = 0;
+
+  /// ARP: the MAC being advertised for sender_ip (src_ip). A spoofed
+  /// unicast request with a shadow MAC here performs the §6.2 reroute.
+  MacAddress arp_mac = kMacNone;
+
+  /// Timestamp of this transmission onto the first wire (set by the sending
+  /// NIC; the simulated equivalent of tcpdump at the sender).
+  sim::Time sent_at = 0;
+  /// Timestamp of the *first* transmission of this payload range;
+  /// preserved across retransmissions so receiver-side latency includes
+  /// retransmission delay (Figure 3's 99.9th percentile effect).
+  sim::Time first_sent_at = 0;
+
+  /// Oracle metadata for tests/validation only: the input/output port the
+  /// packet used at the switch that mirrored it. Real mirrored packets
+  /// carry no metadata; the collector must *infer* these (§3.2.1) and tests
+  /// compare inference against this ground truth. -1 when unset.
+  std::int16_t oracle_in_port = -1;
+  std::int16_t oracle_out_port = -1;
+
+  FlowKey flow_key() const {
+    return FlowKey{src_ip, dst_ip, src_port, dst_port, proto};
+  }
+
+  bool has_flag(TcpFlag f) const { return (flags & f) != 0; }
+
+  /// Frame size as buffered/forwarded by a switch (no preamble/IPG).
+  std::int64_t frame_size() const {
+    if (proto == Protocol::kArp) return 64;  // min-size frame
+    return payload + kTcpHeader + kIpHeader + kEthernetOverhead;
+  }
+
+  /// Bytes of link time the packet occupies, including preamble + IPG.
+  std::int64_t wire_size() const { return frame_size() + kWireGap; }
+};
+
+}  // namespace planck::net

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addresses.hpp"
+#include "net/topology.hpp"
+
+namespace planck::net {
+
+/// One switch traversal on a routed path.
+struct PathHop {
+  int switch_node = -1;  // TopologyGraph node id
+  int in_port = -1;
+  int out_port = -1;
+
+  friend bool operator==(const PathHop&, const PathHop&) = default;
+};
+
+/// A full host-to-host path on one routing tree.
+struct RoutePath {
+  int src_host = -1;  // host index
+  int dst_host = -1;  // host index
+  int tree = 0;       // 0 = base tree, >= 1 = shadow trees
+  std::vector<PathHop> hops;
+
+  friend bool operator==(const RoutePath&, const RoutePath&) = default;
+};
+
+/// A directed link in the topology, identified by its transmitting end
+/// (the switch and output port that feed it). This is the unit at which
+/// utilization is tracked and congestion reported.
+struct DirectedLink {
+  int node = -1;
+  int port = -1;
+
+  friend bool operator==(const DirectedLink&, const DirectedLink&) = default;
+};
+
+struct DirectedLinkHash {
+  std::size_t operator()(const DirectedLink& l) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.node))
+         << 32) |
+        static_cast<std::uint32_t>(l.port));
+  }
+};
+
+struct MacPair {
+  MacAddress src = kMacNone;
+  MacAddress dst = kMacNone;
+
+  friend bool operator==(const MacPair&, const MacPair&) = default;
+};
+
+struct MacPairHash {
+  std::size_t operator()(const MacPair& p) const noexcept {
+    std::uint64_t h = p.src * 0x9e3779b97f4a7c15ULL;
+    h ^= p.dst + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// The forwarding view of one switch, as shared by the controller with the
+/// collectors (§3.2.1, §4.1). Because the network routes on destination
+/// MAC, the output port is a function of dst MAC alone and the input port
+/// a function of the (src, dst) MAC pair.
+struct SwitchRouteView {
+  std::unordered_map<MacAddress, int> out_port_by_dst;
+  std::unordered_map<MacPair, int, MacPairHash> in_port_by_pair;
+
+  /// -1 when unknown.
+  int out_port(MacAddress dst) const {
+    const auto it = out_port_by_dst.find(dst);
+    return it == out_port_by_dst.end() ? -1 : it->second;
+  }
+  int in_port(MacAddress src, MacAddress dst) const {
+    const auto it = in_port_by_pair.find(MacPair{src, dst});
+    return it == in_port_by_pair.end() ? -1 : it->second;
+  }
+};
+
+}  // namespace planck::net

@@ -1,0 +1,101 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+
+namespace planck::net {
+
+int TopologyGraph::add_host() {
+  NodeInfo info;
+  info.kind = NodeKind::kHost;
+  info.ports = 1;
+  info.host_index = static_cast<int>(hosts_.size());
+  info.peers.resize(1);
+  info.specs.resize(1);
+  nodes_.push_back(std::move(info));
+  hosts_.push_back(num_nodes() - 1);
+  return num_nodes() - 1;
+}
+
+int TopologyGraph::add_switch(int num_ports) {
+  assert(num_ports > 0);
+  NodeInfo info;
+  info.kind = NodeKind::kSwitch;
+  info.ports = num_ports;
+  info.switch_index = static_cast<int>(switches_.size());
+  info.peers.resize(static_cast<std::size_t>(num_ports));
+  info.specs.resize(static_cast<std::size_t>(num_ports));
+  nodes_.push_back(std::move(info));
+  switches_.push_back(num_nodes() - 1);
+  return num_nodes() - 1;
+}
+
+void TopologyGraph::connect(PortRef a, PortRef b, LinkSpec spec) {
+  assert(a.node >= 0 && a.node < num_nodes());
+  assert(b.node >= 0 && b.node < num_nodes());
+  assert(a.port >= 0 && a.port < num_ports(a.node));
+  assert(b.port >= 0 && b.port < num_ports(b.node));
+  assert(!wired(a.node, a.port));
+  assert(!wired(b.node, b.port));
+  nodes_[a.node].peers[a.port] = b;
+  nodes_[a.node].specs[a.port] = spec;
+  nodes_[b.node].peers[b.port] = a;
+  nodes_[b.node].specs[b.port] = spec;
+}
+
+TopologyGraph make_fat_tree_16(const LinkSpec& spec) {
+  using namespace fat_tree;
+  TopologyGraph g;
+
+  int hosts[kNumHosts];
+  for (int h = 0; h < kNumHosts; ++h) hosts[h] = g.add_host();
+
+  int edges[kNumPods][kEdgePerPod];
+  int aggs[kNumPods][kAggPerPod];
+  int cores[kNumCore];
+  for (int p = 0; p < kNumPods; ++p) {
+    for (int e = 0; e < kEdgePerPod; ++e) edges[p][e] = g.add_switch(4);
+  }
+  for (int p = 0; p < kNumPods; ++p) {
+    for (int a = 0; a < kAggPerPod; ++a) aggs[p][a] = g.add_switch(4);
+  }
+  for (int c = 0; c < kNumCore; ++c) cores[c] = g.add_switch(kNumPods);
+
+  // Hosts to edge switches: edge ports 0-1 face down.
+  for (int h = 0; h < kNumHosts; ++h) {
+    const int p = pod_of_host(h);
+    const int e = edge_of_host(h);
+    const int leaf = h % 2;
+    g.connect({hosts[h], 0}, {edges[p][e], leaf}, spec);
+  }
+  // Edge to agg: edge port 2+a to agg a port e.
+  for (int p = 0; p < kNumPods; ++p) {
+    for (int e = 0; e < kEdgePerPod; ++e) {
+      for (int a = 0; a < kAggPerPod; ++a) {
+        g.connect({edges[p][e], 2 + a}, {aggs[p][a], e}, spec);
+      }
+    }
+  }
+  // Agg to core: agg a port 2+j to core (2a + j) port p.
+  for (int p = 0; p < kNumPods; ++p) {
+    for (int a = 0; a < kAggPerPod; ++a) {
+      for (int j = 0; j < 2; ++j) {
+        g.connect({aggs[p][a], 2 + j}, {cores[2 * a + j], p}, spec);
+      }
+    }
+  }
+  return g;
+}
+
+TopologyGraph make_star(int num_hosts, const LinkSpec& spec) {
+  TopologyGraph g;
+  std::vector<int> hosts;
+  hosts.reserve(static_cast<std::size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) hosts.push_back(g.add_host());
+  const int sw = g.add_switch(num_hosts);
+  for (int h = 0; h < num_hosts; ++h) {
+    g.connect({hosts[h], 0}, {sw, h}, spec);
+  }
+  return g;
+}
+
+}  // namespace planck::net

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace planck::net {
+
+/// Node kind in the abstract topology graph.
+enum class NodeKind : std::uint8_t { kHost, kSwitch };
+
+/// A (node, port) endpoint.
+struct PortRef {
+  int node = -1;
+  int port = -1;
+
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+  bool valid() const { return node >= 0; }
+};
+
+/// Physical properties of a cable.
+struct LinkSpec {
+  std::int64_t rate_bps = 10'000'000'000;  // 10 Gbps default
+  sim::Duration propagation = sim::microseconds(1);
+};
+
+/// Abstract topology: hosts and switches connected by bidirectional cables.
+/// This is the controller's and routing code's view of the network; the
+/// testbed assembler instantiates concrete Switch/Host objects from it.
+/// Monitor ports are *not* part of this graph — they carry no routed
+/// traffic and are attached when the testbed is built.
+class TopologyGraph {
+ public:
+  /// Adds a host (hosts always have exactly one port, port 0).
+  /// Host ids are dense: the i-th call returns a node whose host index is
+  /// the number of hosts added before it.
+  int add_host();
+
+  /// Adds a switch with `num_ports` data ports.
+  int add_switch(int num_ports);
+
+  /// Connects a.port <-> b.port with the given cable. Both ports must be
+  /// unused.
+  void connect(PortRef a, PortRef b, LinkSpec spec);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  NodeKind kind(int node) const { return nodes_[node].kind; }
+  bool is_switch(int node) const { return kind(node) == NodeKind::kSwitch; }
+  bool is_host(int node) const { return kind(node) == NodeKind::kHost; }
+  int num_ports(int node) const { return nodes_[node].ports; }
+
+  /// Host index (0-based among hosts) of a host node; -1 for switches.
+  int host_index(int node) const { return nodes_[node].host_index; }
+  /// Node id of the i-th host.
+  int host_node(int host_index) const { return hosts_[host_index]; }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+
+  /// Switch index (0-based among switches) of a switch node; -1 for hosts.
+  int switch_index(int node) const { return nodes_[node].switch_index; }
+  int switch_node(int switch_index) const { return switches_[switch_index]; }
+  int num_switches() const { return static_cast<int>(switches_.size()); }
+
+  /// The far end of (node, port); invalid PortRef if unwired.
+  PortRef peer(int node, int port) const {
+    return nodes_[node].peers[port];
+  }
+  bool wired(int node, int port) const { return peer(node, port).valid(); }
+
+  /// Cable properties of the link at (node, port). Precondition: wired.
+  const LinkSpec& link_spec(int node, int port) const {
+    assert(wired(node, port));
+    return nodes_[node].specs[port];
+  }
+
+  const std::vector<int>& hosts() const { return hosts_; }
+  const std::vector<int>& switches() const { return switches_; }
+
+ private:
+  struct NodeInfo {
+    NodeKind kind;
+    int ports;
+    int host_index = -1;
+    int switch_index = -1;
+    std::vector<PortRef> peers;
+    std::vector<LinkSpec> specs;
+  };
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<int> hosts_;
+  std::vector<int> switches_;
+};
+
+/// The paper's testbed topology (§7.1): a 16-host, 3-tier fat-tree built
+/// from 4-port (logical) switches — 4 pods of {2 edge, 2 aggregation}
+/// switches plus 4 core switches. Port conventions:
+///   edge:  0-1 down to hosts, 2-3 up to agg 0/1 of the pod
+///   agg:   0-1 down to edge 0/1, 2-3 up to core (agg a reaches cores 2a,
+///          2a+1 via ports 2, 3)
+///   core:  port p connects to pod p
+/// Host ids: pod*4 + edge*2 + leaf.
+TopologyGraph make_fat_tree_16(const LinkSpec& spec);
+
+/// Non-blocking "Optimal" topology (§7.1): all hosts on one big switch.
+TopologyGraph make_star(int num_hosts, const LinkSpec& spec);
+
+/// Structural facts about make_fat_tree_16 used by routing and tests.
+namespace fat_tree {
+inline constexpr int kNumHosts = 16;
+inline constexpr int kNumPods = 4;
+inline constexpr int kEdgePerPod = 2;
+inline constexpr int kAggPerPod = 2;
+inline constexpr int kNumCore = 4;
+inline constexpr int kNumSwitches = 20;
+
+constexpr int pod_of_host(int host) { return host / 4; }
+constexpr int edge_of_host(int host) { return (host % 4) / 2; }
+
+/// Switch indices (dense, in add order): edges first (pod-major), then
+/// aggs (pod-major), then cores.
+constexpr int edge_switch_index(int pod, int e) { return pod * 2 + e; }
+constexpr int agg_switch_index(int pod, int a) { return 8 + pod * 2 + a; }
+constexpr int core_switch_index(int c) { return 16 + c; }
+
+/// Aggregation switch index within a pod that reaches core c.
+constexpr int agg_for_core(int c) { return c / 2; }
+/// Agg uplink port that reaches core c.
+constexpr int agg_port_for_core(int c) { return 2 + (c % 2); }
+}  // namespace fat_tree
+
+}  // namespace planck::net

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace planck::pcap {
+
+/// Serializes simulated packets into the classic libpcap file format
+/// (magic 0xa1b2c3d4, microsecond timestamps, LINKTYPE_ETHERNET), so the
+/// vantage-point monitor's dumps (§6.1) open in wireshark/tcpdump. Packets
+/// are rendered as Ethernet + IPv4 + TCP/UDP frames; payload bytes are
+/// zero-filled (the simulation carries no application data), and `snaplen`
+/// caps the captured length the way sFlow-style tools strip payloads.
+class PcapWriter {
+ public:
+  explicit PcapWriter(std::uint32_t snaplen = 65535) : snaplen_(snaplen) {}
+
+  /// Appends one packet with capture timestamp `t`.
+  void add(sim::Time t, const net::Packet& packet);
+
+  /// Number of records added.
+  std::size_t count() const { return count_; }
+
+  /// The complete file image (global header + records).
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+
+  /// Writes the file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  /// Renders one packet's wire bytes (without pcap record header); exposed
+  /// for tests.
+  static std::vector<std::uint8_t> render_frame(const net::Packet& packet);
+
+ private:
+  void ensure_header();
+
+  std::uint32_t snaplen_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace planck::pcap

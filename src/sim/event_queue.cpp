@@ -1,0 +1,85 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace planck::sim {
+
+EventId EventQueue::push(Time when, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, id, std::move(cb)});
+  sift_up(heap_.size() - 1);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_top();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled_top();
+  assert(!heap_.empty());
+  return heap_.front().when;
+}
+
+EventQueue::Callback EventQueue::pop(Time* when) {
+  drop_cancelled_top();
+  assert(!heap_.empty());
+  if (when != nullptr) *when = heap_.front().when;
+  Callback cb = std::move(heap_.front().cb);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return cb;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && !cancelled_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+// Both sifts use the hole technique: the displaced entry is held aside and
+// written exactly once, instead of swap chains that move the (large)
+// entries three times per level.
+
+void EventQueue::sift_up(std::size_t i) {
+  if (i == 0) return;
+  Entry moving = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], moving)) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(moving);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry moving = std::move(heap_[i]);
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t smallest = left;
+    if (right < n && later(heap_[left], heap_[right])) smallest = right;
+    if (!later(moving, heap_[smallest])) break;
+    heap_[i] = std::move(heap_[smallest]);
+    i = smallest;
+  }
+  heap_[i] = std::move(moving);
+}
+
+}  // namespace planck::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/inline_function.hpp"
+#include "sim/time.hpp"
+
+namespace planck::sim {
+
+/// Identifier of a scheduled event; usable to cancel it. Zero is never a
+/// valid id.
+using EventId = std::uint64_t;
+
+/// A binary min-heap of timestamped events. Events at the same timestamp
+/// pop in insertion order (FIFO), which discrete-event simulations rely on
+/// for determinism.
+///
+/// Cancellation is lazy and O(1): cancelled entries are skipped when they
+/// reach the top of the heap. Callers must only cancel events that have not
+/// yet run (the Timer helper enforces this); cancelling an already-executed
+/// id would leak a tombstone.
+class EventQueue {
+ public:
+  // 136 bytes of inline storage so a packet-delivery closure (a Packet plus
+  // a destination pointer) never heap-allocates.
+  using Callback = InlineFunction<void(), 136>;
+
+  EventQueue() = default;
+
+  /// Schedules `cb` at absolute time `when`. Returns an id for cancel().
+  EventId push(Time when, Callback cb);
+
+  /// Marks a pending event as cancelled. O(1) amortized.
+  void cancel(EventId id);
+
+  /// True when no runnable (non-cancelled) event remains.
+  bool empty();
+
+  /// Number of entries physically in the heap, including tombstones.
+  std::size_t raw_size() const { return heap_.size(); }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  Time next_time();
+
+  /// Pops the earliest live event and returns its callback.
+  /// Precondition: !empty().
+  Callback pop(Time* when = nullptr);
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;  // also serves as the FIFO tiebreak (monotonic)
+    Callback cb;
+  };
+
+  // Min-heap ordering: earlier time first, then smaller id.
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.id > b.id;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void drop_cancelled_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace planck::sim

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace planck::sim {
+
+/// Move-only type-erased callable with inline storage, used for simulation
+/// events. Unlike std::function it never allocates for captures that fit in
+/// the inline buffer, which matters when hundreds of millions of events are
+/// scheduled per benchmark run. Callables larger than the buffer fall back
+/// to the heap.
+template <typename Signature, std::size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->move(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->move(other.storage_, storage_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*move)(void* from, void* to) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Decayed) <= InlineBytes &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      static const VTable vtable = {
+          [](void* storage, Args&&... args) -> R {
+            return (*std::launder(reinterpret_cast<Decayed*>(storage)))(
+                std::forward<Args>(args)...);
+          },
+          [](void* from, void* to) noexcept {
+            auto* src = std::launder(reinterpret_cast<Decayed*>(from));
+            ::new (to) Decayed(std::move(*src));
+            src->~Decayed();
+          },
+          [](void* storage) noexcept {
+            std::launder(reinterpret_cast<Decayed*>(storage))->~Decayed();
+          },
+      };
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(f));
+      vtable_ = &vtable;
+    } else {
+      // Heap fallback: the inline buffer stores just the pointer.
+      static const VTable vtable = {
+          [](void* storage, Args&&... args) -> R {
+            auto* ptr = *std::launder(reinterpret_cast<Decayed**>(storage));
+            return (*ptr)(std::forward<Args>(args)...);
+          },
+          [](void* from, void* to) noexcept {
+            auto** src = std::launder(reinterpret_cast<Decayed**>(from));
+            *reinterpret_cast<Decayed**>(to) = *src;
+            *src = nullptr;
+          },
+          [](void* storage) noexcept {
+            delete *std::launder(reinterpret_cast<Decayed**>(storage));
+          },
+      };
+      *reinterpret_cast<Decayed**>(static_cast<void*>(storage_)) =
+          new Decayed(std::forward<F>(f));
+      vtable_ = &vtable;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace planck::sim

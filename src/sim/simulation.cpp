@@ -1,0 +1,31 @@
+#include "sim/simulation.hpp"
+
+namespace planck::sim {
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    Time when = 0;
+    auto cb = queue_.pop(&when);
+    assert(when >= now_);
+    now_ = when;
+    ++events_executed_;
+    cb();
+  }
+}
+
+bool Simulation::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    Time when = 0;
+    auto cb = queue_.pop(&when);
+    assert(when >= now_);
+    now_ = when;
+    ++events_executed_;
+    cb();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  return !queue_.empty();
+}
+
+}  // namespace planck::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace planck::sim {
+
+/// Discrete-event simulation driver. Owns the event queue and the clock.
+/// Single-threaded and fully deterministic: identical schedules produce
+/// identical runs.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` from now. Negative delays clamp to now.
+  EventId schedule(Duration delay, EventQueue::Callback cb) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(cb));
+  }
+
+  /// Schedules `cb` at absolute time `when` (clamped to now if in the past).
+  EventId schedule_at(Time when, EventQueue::Callback cb) {
+    if (when < now_) when = now_;
+    return queue_.push(when, std::move(cb));
+  }
+
+  /// Cancels a pending event. Must not be called for events that already
+  /// ran (use the Timer helper, which tracks this).
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the queue drains or stop() is called.
+  void run();
+
+  /// Runs events with time <= deadline, then sets the clock to `deadline`
+  /// (if the simulation got that far). Returns true if events remain.
+  bool run_until(Time deadline);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for tests and progress reporting).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  bool pending() { return !queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace planck::sim

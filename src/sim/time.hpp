@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+namespace planck::sim {
+
+/// Simulation time. All simulation timestamps are nanoseconds since the
+/// start of the run, held in a signed 64-bit integer (signed so that
+/// subtraction of nearby timestamps is well defined).
+using Time = std::int64_t;
+
+/// Duration in nanoseconds. Same representation as Time; the distinction is
+/// purely documentary.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Convenience constructors so call sites read like the paper's prose
+/// ("200 us minimum gap", "700 us burst cap").
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_microseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Time needed to serialize `bytes` onto a link of `bits_per_second`.
+/// Rounds up so a nonempty packet never takes zero time.
+constexpr Duration serialization_delay(std::int64_t bytes,
+                                       std::int64_t bits_per_second) {
+  if (bytes <= 0 || bits_per_second <= 0) return 0;
+  const auto bits = static_cast<__int128>(bytes) * 8 * kSecond;
+  return static_cast<Duration>((bits + bits_per_second - 1) / bits_per_second);
+}
+
+/// Bytes that fit on a link of `bits_per_second` during `d`.
+constexpr std::int64_t bytes_in(Duration d, std::int64_t bits_per_second) {
+  if (d <= 0 || bits_per_second <= 0) return 0;
+  return static_cast<std::int64_t>(static_cast<__int128>(d) *
+                                   bits_per_second / 8 / kSecond);
+}
+
+}  // namespace planck::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <utility>
+
+#include "sim/simulation.hpp"
+
+namespace planck::sim {
+
+/// A restartable one-shot timer bound to a Simulation. Handles the
+/// cancel-before-reschedule bookkeeping that protocols (TCP RTO, flow
+/// timeouts, poll intervals) need, and guarantees EventQueue's precondition
+/// that only pending events are cancelled.
+///
+/// Rescheduling is lazy: a timer that is pushed *later* (the common case —
+/// a TCP RTO restarted on every ACK) just updates the deadline, and the
+/// already-queued event re-arms itself when it fires early. Only moving a
+/// deadline *earlier* cancels the queued event. This keeps the per-ACK
+/// cost at zero heap operations.
+class Timer {
+ public:
+  Timer(Simulation& simulation, EventQueue::Callback on_fire)
+      : sim_(simulation), on_fire_(std::move(on_fire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  /// (Re)arms the timer to fire `delay` from now.
+  void schedule(Duration delay) {
+    const Time when = sim_.now() + (delay > 0 ? delay : 0);
+    deadline_ = when;
+    if (id_ != 0) {
+      if (when >= queued_at_) return;  // queued event will re-arm lazily
+      sim_.cancel(id_);
+      id_ = 0;
+    }
+    arm(when);
+  }
+
+  /// Stops the timer if pending; no-op otherwise.
+  void cancel() {
+    deadline_ = -1;
+    if (id_ != 0) {
+      sim_.cancel(id_);
+      id_ = 0;
+    }
+  }
+
+  bool pending() const { return deadline_ >= 0; }
+
+ private:
+  void arm(Time when) {
+    queued_at_ = when;
+    id_ = sim_.schedule_at(when, [this] {
+      id_ = 0;
+      if (deadline_ < 0) return;  // cancelled while queued (tombstone raced)
+      if (deadline_ > sim_.now()) {
+        arm(deadline_);  // deadline was pushed back: re-arm
+        return;
+      }
+      deadline_ = -1;
+      on_fire_();
+    });
+  }
+
+  Simulation& sim_;
+  EventQueue::Callback on_fire_;
+  EventId id_ = 0;
+  Time queued_at_ = 0;
+  Time deadline_ = -1;  // -1 = not pending
+};
+
+}  // namespace planck::sim

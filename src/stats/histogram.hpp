@@ -1,0 +1,62 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace planck::stats {
+
+/// Fixed-width histogram over [lo, hi). Values outside the range land in
+/// saturating under/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(
+        (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    ++counts_[std::min(idx, counts_.size() - 1)];
+  }
+
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  double bucket_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  double bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+  /// Fraction of in-range samples at or below the upper edge of bucket i.
+  double cumulative_fraction(std::size_t i) const {
+    if (total_ == 0) return 0.0;
+    std::uint64_t cum = underflow_;
+    for (std::size_t j = 0; j <= i; ++j) cum += counts_[j];
+    return static_cast<double>(cum) / static_cast<double>(total_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace planck::stats

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace planck::stats {
+
+/// Append-only (time, value) series, e.g. a flow's estimated rate over time
+/// (Figure 10/15 style plots).
+class TimeSeries {
+ public:
+  void add(sim::Time t, double value) { points_.emplace_back(t, value); }
+
+  const std::vector<std::pair<sim::Time, double>>& points() const {
+    return points_;
+  }
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+
+  /// Value at time t using step interpolation (last point at or before t).
+  /// Returns `fallback` before the first point.
+  double at(sim::Time t, double fallback = 0.0) const {
+    double value = fallback;
+    for (const auto& [when, v] : points_) {
+      if (when > t) break;
+      value = v;
+    }
+    return value;
+  }
+
+  /// Re-buckets the series into fixed intervals, averaging values whose
+  /// timestamps fall in each interval. Intervals with no points repeat the
+  /// previous value. Used for printing readable fixed-step plots.
+  std::vector<std::pair<sim::Time, double>> resample(
+      sim::Time start, sim::Time end, sim::Duration step) const {
+    std::vector<std::pair<sim::Time, double>> out;
+    if (step <= 0 || end < start) return out;
+    std::size_t i = 0;
+    double last = 0.0;
+    for (sim::Time t = start; t <= end; t += step) {
+      double sum = 0.0;
+      std::size_t n = 0;
+      while (i < points_.size() && points_[i].first < t + step) {
+        if (points_[i].first >= t) {
+          sum += points_[i].second;
+          ++n;
+        }
+        ++i;
+      }
+      if (n > 0) last = sum / static_cast<double>(n);
+      out.emplace_back(t, last);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<sim::Time, double>> points_;
+};
+
+}  // namespace planck::stats

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/addresses.hpp"
+#include "net/packet.hpp"
+
+namespace planck::switchsim {
+
+/// Forwarding actions attached to a rule.
+struct RuleActions {
+  /// Output port. For flow (reroute) rules this may be unset, in which case
+  /// the switch re-resolves the output from the (possibly rewritten)
+  /// destination MAC — the OpenFlow set-field + goto-table idiom the paper
+  /// relies on at ingress switches.
+  std::optional<int> out_port;
+  /// Rewrite the destination MAC (shadow-MAC reroute at ingress, restore to
+  /// base MAC at the egress switch, §6.2).
+  std::optional<net::MacAddress> set_dst_mac;
+};
+
+/// Byte/packet counters, pollable by measurement baselines (§2.3: the
+/// "flow counters" that Hedera/DevoFlow-style systems read).
+struct RuleCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// The switch's match-action state: an exact-match L2 table (destination
+/// MAC, the PAST routing state) plus a higher-priority exact-match flow
+/// table (5-tuple, the OpenFlow reroute rules). Real switches use TCAMs;
+/// exact-match hash tables give identical semantics for this workload.
+class RuleTable {
+ public:
+  struct MacEntry {
+    RuleActions actions;
+    RuleCounters counters;
+  };
+  struct FlowEntry {
+    RuleActions actions;
+    RuleCounters counters;
+  };
+
+  /// Installs/overwrites the L2 entry for `dst`.
+  void set_mac_rule(net::MacAddress dst, RuleActions actions) {
+    mac_table_[dst].actions = actions;
+  }
+  bool erase_mac_rule(net::MacAddress dst) {
+    return mac_table_.erase(dst) > 0;
+  }
+
+  /// Installs/overwrites the flow entry for `key` (higher priority than
+  /// any MAC entry).
+  void set_flow_rule(const net::FlowKey& key, RuleActions actions) {
+    flow_table_[key].actions = actions;
+  }
+  bool erase_flow_rule(const net::FlowKey& key) {
+    return flow_table_.erase(key) > 0;
+  }
+
+  MacEntry* find_mac(net::MacAddress dst) {
+    const auto it = mac_table_.find(dst);
+    return it == mac_table_.end() ? nullptr : &it->second;
+  }
+  FlowEntry* find_flow(const net::FlowKey& key) {
+    const auto it = flow_table_.find(key);
+    return it == flow_table_.end() ? nullptr : &it->second;
+  }
+  const MacEntry* find_mac(net::MacAddress dst) const {
+    const auto it = mac_table_.find(dst);
+    return it == mac_table_.end() ? nullptr : &it->second;
+  }
+  const FlowEntry* find_flow(const net::FlowKey& key) const {
+    const auto it = flow_table_.find(key);
+    return it == flow_table_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t mac_rule_count() const { return mac_table_.size(); }
+  std::size_t flow_rule_count() const { return flow_table_.size(); }
+
+  const std::unordered_map<net::FlowKey, FlowEntry, net::FlowKeyHash>&
+  flow_table() const {
+    return flow_table_;
+  }
+  const std::unordered_map<net::MacAddress, MacEntry>& mac_table() const {
+    return mac_table_;
+  }
+
+ private:
+  std::unordered_map<net::MacAddress, MacEntry> mac_table_;
+  std::unordered_map<net::FlowKey, FlowEntry, net::FlowKeyHash> flow_table_;
+};
+
+}  // namespace planck::switchsim

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace planck::switchsim {
+
+/// Configuration of a switch's packet memory, modelled on the Broadcom
+/// Trident ASIC the paper describes (§5.1): 9 MB shared across 64 ports, a
+/// small dedicated reservation per port, and Dynamic Threshold (DT)
+/// admission for the shared pool. With alpha = 0.8 a single congested port
+/// stabilizes at alpha/(1+alpha) * pool ~= 4 MB, the paper's figure.
+struct BufferConfig {
+  std::int64_t total_bytes = 9 * 1024 * 1024;
+  double alpha = 0.8;
+  /// Dedicated bytes per port, usable only by that port.
+  std::int64_t per_port_reserve = 2 * 1518;
+};
+
+/// Shared-memory buffer accounting with Dynamic Threshold admission.
+///
+/// Each port's queue uses its dedicated reservation first; beyond that it
+/// draws from the shared pool, where DT admits a packet only while the
+/// port's shared usage is below alpha * (free shared memory). Ports may
+/// additionally carry a hard cap (set_port_cap) — the paper infers the IBM
+/// G8264 gives mirror ports a fixed allocation (Figure 9), and the
+/// "minbuffer" configuration of Table 1 shrinks that cap to a few frames.
+class SharedBuffer {
+ public:
+  SharedBuffer(const BufferConfig& config, int num_ports)
+      : config_(config),
+        queue_bytes_(static_cast<std::size_t>(num_ports), 0),
+        port_cap_(static_cast<std::size_t>(num_ports), -1) {
+    shared_total_ =
+        config.total_bytes - config.per_port_reserve * num_ports;
+    assert(shared_total_ >= 0);
+  }
+
+  /// Attempts to admit `bytes` to `port`'s queue; true and accounted on
+  /// success, false (caller drops the packet) otherwise.
+  bool admit(int port, std::int64_t bytes) {
+    auto& q = queue_bytes_[static_cast<std::size_t>(port)];
+    const std::int64_t cap = port_cap_[static_cast<std::size_t>(port)];
+    if (cap >= 0 && q + bytes > cap) return false;
+
+    const std::int64_t old_shared = shared_part(q);
+    const std::int64_t new_shared = shared_part(q + bytes);
+    const std::int64_t delta = new_shared - old_shared;
+    if (delta > 0) {
+      const std::int64_t shared_free = shared_total_ - shared_used_;
+      // DT drop condition: the port's shared occupancy has reached
+      // alpha * free. Also never exceed physical memory.
+      if (static_cast<double>(old_shared) >=
+              config_.alpha * static_cast<double>(shared_free) ||
+          delta > shared_free) {
+        return false;
+      }
+      shared_used_ += delta;
+    }
+    q += bytes;
+    return true;
+  }
+
+  /// Returns `bytes` previously admitted to `port`.
+  void release(int port, std::int64_t bytes) {
+    auto& q = queue_bytes_[static_cast<std::size_t>(port)];
+    assert(q >= bytes);
+    const std::int64_t delta = shared_part(q) - shared_part(q - bytes);
+    shared_used_ -= delta;
+    assert(shared_used_ >= 0);
+    q -= bytes;
+  }
+
+  std::int64_t queue_bytes(int port) const {
+    return queue_bytes_[static_cast<std::size_t>(port)];
+  }
+  std::int64_t shared_used() const { return shared_used_; }
+  std::int64_t shared_total() const { return shared_total_; }
+
+  /// Hard cap on a port's total queue depth; -1 removes the cap.
+  void set_port_cap(int port, std::int64_t cap) {
+    port_cap_[static_cast<std::size_t>(port)] = cap;
+  }
+  std::int64_t port_cap(int port) const {
+    return port_cap_[static_cast<std::size_t>(port)];
+  }
+
+  const BufferConfig& config() const { return config_; }
+
+ private:
+  std::int64_t shared_part(std::int64_t q) const {
+    const std::int64_t over = q - config_.per_port_reserve;
+    return over > 0 ? over : 0;
+  }
+
+  BufferConfig config_;
+  std::int64_t shared_total_ = 0;
+  std::int64_t shared_used_ = 0;
+  std::vector<std::int64_t> queue_bytes_;
+  std::vector<std::int64_t> port_cap_;
+};
+
+}  // namespace planck::switchsim

@@ -1,0 +1,163 @@
+#include "switchsim/switch.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace planck::switchsim {
+
+Switch::Switch(sim::Simulation& simulation, std::string name, int num_ports,
+               const SwitchConfig& config)
+    : sim_(simulation),
+      name_(std::move(name)),
+      config_(config),
+      buffer_(config.buffer, num_ports),
+      ports_(static_cast<std::size_t>(num_ports)),
+      rng_(config.seed) {}
+
+void Switch::attach_link(int port, net::Link* link) {
+  assert(port >= 0 && port < num_ports());
+  ports_[static_cast<std::size_t>(port)].link = link;
+}
+
+void Switch::set_mirroring(int monitor_port) {
+  if (monitor_port_ >= 0) buffer_.set_port_cap(monitor_port_, -1);
+  monitor_port_ = monitor_port;
+  if (monitor_port_ >= 0) {
+    buffer_.set_port_cap(monitor_port_, config_.monitor_port_cap);
+  }
+}
+
+int Switch::route(net::Packet& packet) {
+  // Highest priority: exact-match flow rules (OpenFlow reroutes).
+  if (auto* flow = rules_.find_flow(packet.flow_key())) {
+    ++flow->counters.packets;
+    flow->counters.bytes += packet.frame_size();
+    if (flow->actions.set_dst_mac) packet.dst_mac = *flow->actions.set_dst_mac;
+    if (flow->actions.out_port) return *flow->actions.out_port;
+    // Fall through: re-resolve from the (rewritten) destination MAC.
+  }
+  if (auto* mac = rules_.find_mac(packet.dst_mac)) {
+    ++mac->counters.packets;
+    mac->counters.bytes += packet.frame_size();
+    const int out = mac->actions.out_port.value_or(-1);
+    if (mac->actions.set_dst_mac) packet.dst_mac = *mac->actions.set_dst_mac;
+    return out;
+  }
+  return -1;
+}
+
+void Switch::handle_packet(const net::Packet& packet, int in_port) {
+  auto& in_counters = ports_[static_cast<std::size_t>(in_port)].counters;
+  ++in_counters.rx_packets;
+  in_counters.rx_bytes += packet.frame_size();
+
+  net::Packet pkt = packet;
+  // The mirror replica is taken before any egress MAC rewrite so the
+  // collector sees the routing (possibly shadow) MAC, which is what its
+  // path inference is keyed on.
+  const net::MacAddress routing_mac = pkt.dst_mac;
+  const int out_port = route(pkt);
+  if (out_port < 0) {
+    ++no_route_drops_;
+    return;
+  }
+
+  if (config_.flow_accounting && pkt.proto != net::Protocol::kArp) {
+    // Payload bytes, so rate-from-delta reflects goodput and pure-ACK
+    // "flows" measure as ~zero (they must not look like elephants).
+    auto& fc = flow_counters_[pkt.flow_key()];
+    ++fc.packets;
+    fc.bytes += pkt.payload;
+  }
+
+  pkt.oracle_in_port = static_cast<std::int16_t>(in_port);
+  pkt.oracle_out_port = static_cast<std::int16_t>(out_port);
+
+  if (monitor_port_ >= 0 && out_port != monitor_port_ &&
+      in_port != monitor_port_) {
+    net::Packet replica = pkt;
+    replica.dst_mac = routing_mac;
+    if (config_.mirror_jitter > 0) {
+      // Egress-pipeline arbitration jitter; see SwitchConfig.
+      const auto delay = static_cast<sim::Duration>(rng_.below(
+          static_cast<std::uint64_t>(config_.mirror_jitter)));
+      const int port = monitor_port_;
+      sim_.schedule(delay, [this, port, replica] {
+        enqueue(port, replica, /*is_mirror=*/true);
+      });
+    } else {
+      enqueue(monitor_port_, replica, /*is_mirror=*/true);
+    }
+  }
+
+  maybe_sflow_sample(pkt, in_port, out_port);
+  enqueue(out_port, pkt, /*is_mirror=*/false);
+}
+
+void Switch::inject(const net::Packet& packet, int out_port) {
+  assert(out_port >= 0 && out_port < num_ports());
+  enqueue(out_port, packet, /*is_mirror=*/false);
+}
+
+void Switch::enqueue(int port, const net::Packet& packet, bool is_mirror) {
+  Port& p = ports_[static_cast<std::size_t>(port)];
+  if (p.link == nullptr) return;  // unwired port: silently discard
+  if (!buffer_.admit(port, packet.frame_size())) {
+    ++p.counters.drops;
+    p.counters.drop_bytes += packet.frame_size();
+    if (is_mirror) ++mirror_drops_;
+    return;
+  }
+  if (is_mirror) ++mirror_sent_;
+  p.queue.push_back(packet);
+  if (!p.draining) start_tx(port);
+}
+
+void Switch::start_tx(int port) {
+  Port& p = ports_[static_cast<std::size_t>(port)];
+  if (p.queue.empty()) {
+    p.draining = false;
+    return;
+  }
+  p.draining = true;
+  const net::Packet& pkt = p.queue.front();
+  const sim::Time done = p.link->transmit(pkt);
+  sim_.schedule_at(done, [this, port] { finish_tx(port); });
+}
+
+void Switch::finish_tx(int port) {
+  Port& p = ports_[static_cast<std::size_t>(port)];
+  assert(!p.queue.empty());
+  const net::Packet& pkt = p.queue.front();
+  ++p.counters.tx_packets;
+  p.counters.tx_bytes += pkt.frame_size();
+  buffer_.release(port, pkt.frame_size());
+  p.queue.pop_front();
+  start_tx(port);
+}
+
+void Switch::maybe_sflow_sample(const net::Packet& packet, int in_port,
+                                int out_port) {
+  if (config_.sflow_one_in_n == 0 || !sflow_handler_) return;
+  if (++sflow_counter_ % config_.sflow_one_in_n != 0) return;
+
+  // Token bucket modelling the control-plane CPU / PCI bottleneck.
+  const sim::Time now = sim_.now();
+  sflow_tokens_ += sim::to_seconds(now - sflow_last_refill_) *
+                   config_.sflow_max_samples_per_sec;
+  const double burst = 10.0;
+  if (sflow_tokens_ > burst) sflow_tokens_ = burst;
+  sflow_last_refill_ = now;
+  if (sflow_tokens_ < 1.0) return;  // CPU saturated: sample lost
+  sflow_tokens_ -= 1.0;
+
+  net::Packet copy = packet;
+  const std::uint32_t rate = config_.sflow_one_in_n;
+  auto handler = sflow_handler_;
+  sim_.schedule(config_.sflow_control_delay,
+                [handler, copy, in_port, out_port, rate] {
+                  handler(copy, in_port, out_port, rate);
+                });
+}
+
+}  // namespace planck::switchsim

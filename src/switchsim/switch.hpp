@@ -1,0 +1,179 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "switchsim/rule_table.hpp"
+#include "switchsim/shared_buffer.hpp"
+
+namespace planck::switchsim {
+
+/// Static configuration of a simulated switch.
+struct SwitchConfig {
+  BufferConfig buffer;
+
+  /// Buffer cap applied to a port when it is configured as a monitor port.
+  /// Default models the fixed ~4 MB allocation the paper infers for the
+  /// IBM G8264 (Figure 9). The Table-1 "minbuffer" configuration sets this
+  /// to a couple of frames.
+  std::int64_t monitor_port_cap = 4 * 1024 * 1024;
+
+  /// Maintain per-5-tuple forwarding counters (NetFlow-style, §2.3), which
+  /// the polling TE baselines read. Planck itself never uses these.
+  bool flow_accounting = true;
+
+  /// sFlow-style control-plane sampling (§2.1): forward one in N packets
+  /// to the control plane, capped at a max rate by the switch CPU / PCI
+  /// path (300 samples/s on the G8264 per OpenSample). 0 disables.
+  std::uint32_t sflow_one_in_n = 0;
+  double sflow_max_samples_per_sec = 300.0;
+  sim::Duration sflow_control_delay = sim::milliseconds(1);
+
+  /// Random delay added to each mirror replica before it competes for the
+  /// monitor-port buffer, modelling the ASIC's egress-pipeline/port
+  /// arbitration. Without it, a discrete-event simulation phase-locks:
+  /// identical-rate input streams have fixed arrival phases and the same
+  /// flow wins every freed buffer slot, producing unrealistically long
+  /// sample bursts. One MTU-time of jitter makes the admission winner
+  /// effectively uniform across contending inputs, matching the
+  /// single-MTU bursts the paper measures (Figure 5). Never applied to
+  /// the original packet.
+  sim::Duration mirror_jitter = sim::nanoseconds(1231);
+  std::uint64_t seed = 0x9e3779b9;
+};
+
+/// Per-port traffic counters.
+struct PortCounters {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  /// Packets refused admission to this port's queue (tail drop).
+  std::uint64_t drops = 0;
+  std::uint64_t drop_bytes = 0;
+};
+
+/// An output-queued shared-buffer switch with port mirroring.
+///
+/// Forwarding pipeline (§4.1): exact-match flow table (highest priority,
+/// used by OpenFlow reroutes), then the destination-MAC table (the PAST
+/// routing state). A flow rule may rewrite the destination MAC and leave
+/// the output port to be re-resolved from the MAC table — the rewrite+goto
+/// idiom. When mirroring is enabled, every forwarded packet is also
+/// replicated onto the monitor port, where it competes for the monitor
+/// port's (capped) buffer; replica drops are what turns oversubscribed
+/// mirroring into sampling (§3.1).
+class Switch : public net::Node {
+ public:
+  using SFlowHandler = std::function<void(
+      const net::Packet&, int in_port, int out_port, std::uint32_t rate)>;
+
+  Switch(sim::Simulation& simulation, std::string name, int num_ports,
+         const SwitchConfig& config);
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  /// Attaches the outgoing half of the cable on `port`.
+  void attach_link(int port, net::Link* link);
+
+  const std::string& name() const { return name_; }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+
+  // --- data plane -------------------------------------------------------
+  void handle_packet(const net::Packet& packet, int in_port) override;
+
+  /// Enqueues a packet directly on an output port (controller packet-out;
+  /// used for the spoofed-ARP reroute, §6.2).
+  void inject(const net::Packet& packet, int out_port);
+
+  // --- configuration ----------------------------------------------------
+  RuleTable& rules() { return rules_; }
+  const RuleTable& rules() const { return rules_; }
+
+  /// Enables mirroring of all forwarded traffic to `monitor_port`
+  /// (-1 disables). Applies the monitor buffer cap to that port.
+  void set_mirroring(int monitor_port);
+  int monitor_port() const { return monitor_port_; }
+
+  void set_sflow_handler(SFlowHandler handler) {
+    sflow_handler_ = std::move(handler);
+  }
+
+  // --- observability ----------------------------------------------------
+  const PortCounters& counters(int port) const {
+    return ports_[static_cast<std::size_t>(port)].counters;
+  }
+  /// Packets dropped because no rule matched.
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+  /// Mirror replicas dropped at the monitor port (the implicit sampler).
+  std::uint64_t mirror_drops() const { return mirror_drops_; }
+  std::uint64_t mirror_sent() const { return mirror_sent_; }
+
+  SharedBuffer& buffer() { return buffer_; }
+  const SharedBuffer& buffer() const { return buffer_; }
+
+  std::int64_t queue_depth_bytes(int port) const {
+    return buffer_.queue_bytes(port);
+  }
+  std::size_t queue_depth_packets(int port) const {
+    return ports_[static_cast<std::size_t>(port)].queue.size();
+  }
+
+  /// NetFlow-style per-flow byte/packet counters (only when
+  /// flow_accounting). Polling baselines read this map.
+  const std::unordered_map<net::FlowKey, RuleCounters, net::FlowKeyHash>&
+  flow_counters() const {
+    return flow_counters_;
+  }
+
+  const SwitchConfig& config() const { return config_; }
+
+ private:
+  struct Port {
+    net::Link* link = nullptr;
+    std::deque<net::Packet> queue;
+    bool draining = false;
+    PortCounters counters;
+  };
+
+  /// Resolves the output port and applies rewrites. Returns -1 on miss.
+  int route(net::Packet& packet);
+
+  void enqueue(int port, const net::Packet& packet, bool is_mirror);
+  void start_tx(int port);
+  void finish_tx(int port);
+  void maybe_sflow_sample(const net::Packet& packet, int in_port,
+                          int out_port);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  SwitchConfig config_;
+  SharedBuffer buffer_;
+  std::vector<Port> ports_;
+  RuleTable rules_;
+  int monitor_port_ = -1;
+
+  std::uint64_t no_route_drops_ = 0;
+  std::uint64_t mirror_drops_ = 0;
+  std::uint64_t mirror_sent_ = 0;
+
+  std::unordered_map<net::FlowKey, RuleCounters, net::FlowKeyHash>
+      flow_counters_;
+
+  SFlowHandler sflow_handler_;
+  std::uint64_t sflow_counter_ = 0;
+  double sflow_tokens_ = 0.0;
+  sim::Time sflow_last_refill_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace planck::switchsim

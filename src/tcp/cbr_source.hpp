@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.hpp"
+#include "sim/timer.hpp"
+#include "tcp/host.hpp"
+
+namespace planck::tcp {
+
+/// Constant-bit-rate UDP source used by microbenchmarks that need an
+/// offered load independent of congestion control (e.g. the
+/// oversubscription sweeps of Figures 9 and 11). Sequence numbers are byte
+/// offsets so Planck's estimator applies unchanged (§3.2.2).
+class CbrSource {
+ public:
+  CbrSource(sim::Simulation& simulation, Host& host, net::IpAddress dst_ip,
+            std::uint16_t src_port, std::uint16_t dst_port,
+            std::int64_t rate_bps, std::int64_t payload_bytes = net::kMss)
+      : sim_(simulation),
+        host_(host),
+        dst_ip_(dst_ip),
+        src_port_(src_port),
+        dst_port_(dst_port),
+        payload_(payload_bytes),
+        interval_(sim::serialization_delay(
+            payload_bytes + net::kTcpHeader + net::kIpHeader +
+                net::kEthernetOverhead + net::kWireGap,
+            rate_bps)),
+        timer_(simulation, [this] { tick(); }) {}
+
+  void start() { timer_.schedule(0); }
+  void stop() { timer_.cancel(); }
+
+  std::int64_t bytes_sent() const { return next_seq_; }
+
+ private:
+  void tick() {
+    host_.send_udp(dst_ip_, src_port_, dst_port_, next_seq_, payload_);
+    next_seq_ += payload_;
+    timer_.schedule(interval_);
+  }
+
+  sim::Simulation& sim_;
+  Host& host_;
+  net::IpAddress dst_ip_;
+  std::uint16_t src_port_;
+  std::uint16_t dst_port_;
+  std::int64_t payload_;
+  sim::Duration interval_;
+  std::int64_t next_seq_ = 0;
+  sim::Timer timer_;
+};
+
+}  // namespace planck::tcp

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/addresses.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_connection.hpp"
+
+namespace planck::tcp {
+
+struct HostConfig {
+  /// NIC/qdisc queue limit in bytes (Linux pfifo_fast of 1000 frames).
+  std::int64_t nic_queue_bytes = 1000 * net::kMtuFrame;
+  /// Minimum time between ARP-cache updates for one entry (Linux
+  /// arp_locktime). The paper sets the sysctl so reroutes apply instantly;
+  /// 0 models that tuned host.
+  sim::Duration arp_locktime = 0;
+  /// Accept unicast ARP *requests* as cache updates (Linux MAC learning on
+  /// request, the mechanism §6.2 exploits). ARP *replies* that were not
+  /// solicited are ignored either way, as on Linux.
+  bool learn_from_arp_request = true;
+
+  /// Sender microbursts (Kapoor et al., "Bullet Trains", the paper's
+  /// [23]): real 10 GbE senders emit trains of packets separated by
+  /// kernel/NIC stalls. When `sender_stall_max > 0`, after each train of
+  /// `stall_every_bytes` the NIC pauses for U(sender_stall_min,
+  /// sender_stall_max). Off by default; the Figure 5-7 bench enables it
+  /// to reproduce the paper's sender-gap distribution.
+  std::int64_t stall_every_bytes = 64 * 1024;
+  sim::Duration sender_stall_min = 0;
+  sim::Duration sender_stall_max = 0;
+  /// Seed for the host's local randomness (stall durations).
+  std::uint64_t seed = 0x5eed;
+
+  TcpConfig tcp;
+};
+
+/// An end host: one NIC, an ARP cache, a TCP stack and an optional CBR/UDP
+/// source. The NIC models the qdisc: TCP senders write into it under
+/// backpressure and it drains at line rate, which is what produces the
+/// line-rate bursts the paper measures (Figures 7 and 10).
+class Host : public net::Node {
+ public:
+  using PacketHook = std::function<void(const net::Packet&)>;
+  using FlowCallback = std::function<void(const FlowStats&)>;
+
+  Host(sim::Simulation& simulation, int host_id, const HostConfig& config);
+
+  /// Attaches the outgoing half of the host's cable.
+  void attach_link(net::Link* link) { link_ = link; }
+
+  int id() const { return id_; }
+  net::MacAddress mac() const { return net::host_mac(id_); }
+  net::IpAddress ip() const { return net::host_ip(id_); }
+
+  // --- ARP cache --------------------------------------------------------
+  void set_arp(net::IpAddress ip, net::MacAddress mac);
+  net::MacAddress lookup_arp(net::IpAddress ip) const;
+
+  // --- TCP --------------------------------------------------------------
+  /// Starts a bulk transfer of `bytes` to `dst_ip`:`dst_port`. The source
+  /// port is allocated automatically. Returns a stable pointer (owned by
+  /// the host) for inspection.
+  TcpSender* start_flow(net::IpAddress dst_ip, std::uint16_t dst_port,
+                        std::int64_t bytes, FlowCallback on_complete = {});
+
+  /// Receiver side is created automatically on SYN arrival; this registers
+  /// nothing but exists so tests can assert a port is "listening".
+  void listen(std::uint16_t port) { listening_.insert(port); }
+
+  // --- UDP --------------------------------------------------------------
+  /// Sends a single UDP datagram carrying a byte-offset sequence number
+  /// (Planck's estimator works on any sequence-numbered traffic, §3.2.2).
+  void send_udp(net::IpAddress dst_ip, std::uint16_t src_port,
+                std::uint16_t dst_port, std::int64_t seq,
+                std::int64_t payload);
+
+  // --- NIC --------------------------------------------------------------
+  /// Queues a packet for transmission; stamps MAC addresses (dst from the
+  /// ARP cache at enqueue time, so reroutes apply to retransmissions too).
+  /// Returns false and drops when the qdisc is full.
+  bool send(net::Packet packet);
+
+  /// Bytes of NIC-queue headroom available.
+  std::int64_t nic_headroom() const {
+    return config_.nic_queue_bytes - nic_bytes_;
+  }
+
+  void handle_packet(const net::Packet& packet, int in_port) override;
+
+  // --- instrumentation ----------------------------------------------------
+  /// Called when a packet hits the wire (the sender-side tcpdump of §5.2).
+  void set_tx_hook(PacketHook hook) { tx_hook_ = std::move(hook); }
+  /// Called on every received packet before protocol processing.
+  void set_rx_hook(PacketHook hook) { rx_hook_ = std::move(hook); }
+
+  std::uint64_t nic_drops() const { return nic_drops_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t arp_updates() const { return arp_updates_; }
+
+  const std::vector<std::unique_ptr<TcpSender>>& senders() const {
+    return senders_;
+  }
+  const std::vector<std::unique_ptr<TcpReceiver>>& receivers() const {
+    return receivers_;
+  }
+
+  sim::Simulation& simulation() { return sim_; }
+  const HostConfig& config() const { return config_; }
+
+  /// TcpSender registers here when the NIC refused a segment; the NIC
+  /// notifies when space frees.
+  void wait_for_nic(TcpSender* sender) { nic_waiters_.push_back(sender); }
+
+ private:
+  void start_tx();
+  void finish_tx();
+  void handle_arp(const net::Packet& packet);
+  void handle_tcp(const net::Packet& packet);
+
+  sim::Simulation& sim_;
+  int id_;
+  HostConfig config_;
+  net::Link* link_ = nullptr;
+
+  struct ArpEntry {
+    net::MacAddress mac = net::kMacNone;
+    sim::Time updated_at = -1;
+  };
+  std::unordered_map<net::IpAddress, ArpEntry> arp_cache_;
+
+  std::deque<net::Packet> nic_queue_;
+  std::int64_t nic_bytes_ = 0;
+  bool nic_draining_ = false;
+  std::uint64_t nic_drops_ = 0;
+  std::int64_t train_bytes_ = 0;  // bytes sent since the last stall
+  sim::Rng rng_{0x5eed};
+
+  std::vector<std::unique_ptr<TcpSender>> senders_;
+  std::vector<std::unique_ptr<TcpReceiver>> receivers_;
+  std::unordered_map<net::FlowKey, TcpSender*, net::FlowKeyHash> by_out_key_;
+  std::unordered_map<net::FlowKey, TcpReceiver*, net::FlowKeyHash>
+      by_in_key_;
+  std::unordered_set<std::uint16_t> listening_;
+  std::uint16_t next_src_port_ = 10000;
+
+  PacketHook tx_hook_;
+  PacketHook rx_hook_;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t arp_updates_ = 0;
+  std::vector<TcpSender*> nic_waiters_;
+};
+
+}  // namespace planck::tcp

@@ -1,0 +1,83 @@
+#include "te/planck_te.hpp"
+
+#include "net/addresses.hpp"
+
+namespace planck::te {
+
+PlanckTe::PlanckTe(sim::Simulation& simulation,
+                   controller::Controller& controller,
+                   const PlanckTeConfig& config)
+    : sim_(simulation),
+      controller_(controller),
+      config_(config),
+      state_(controller.routing()) {
+  controller_.subscribe_congestion(
+      [this](const core::CongestionEvent& e) { process_congestion(e); });
+}
+
+void PlanckTe::process_congestion(const core::CongestionEvent& event) {
+  ++events_processed_;
+
+  // get_congn_flows + net_update_state: fold the notification's flow
+  // annotations into our view.
+  std::vector<net::FlowKey> notified;
+  for (const core::FlowRate& fr : event.flows) {
+    const int src = net::host_id_of_ip(fr.key.src_ip);
+    const int dst = net::host_id_of_ip(fr.key.dst_ip);
+    if (src < 0 || dst < 0) continue;
+    KnownFlow& flow = state_.upsert(fr.key);
+    flow.key = fr.key;
+    flow.src_host = src;
+    flow.dst_host = dst;
+    flow.rate_bps = fr.rate_bps;
+    flow.last_heard = sim_.now();
+    // Current tree: the controller's assignment is authoritative — samples
+    // taken while a reroute propagates still carry the old routing MAC.
+    flow.tree = controller_.tree_of(fr.key);
+    if (fr.rate_bps >= config_.min_rate_bps) notified.push_back(fr.key);
+  }
+
+  state_.remove_old_flows(sim_.now() - config_.flow_timeout);
+
+  for (const net::FlowKey& key : notified) {
+    auto it = state_.flows().find(key);
+    if (it == state_.flows().end()) continue;
+    greedy_route_flow(state_.upsert(key));
+  }
+}
+
+void PlanckTe::greedy_route_flow(KnownFlow& flow) {
+  if (flow.last_reroute >= 0 &&
+      sim_.now() - flow.last_reroute < config_.reroute_cooldown) {
+    return;  // a previous reroute of this flow is still propagating
+  }
+  // net_rem_flow_path: loads without this flow.
+  const auto loads = state_.link_loads(&flow.key);
+  const controller::Routing& routing = controller_.routing();
+
+  int best_tree = flow.tree;
+  // Hysteresis: alternates must beat the current path by a real margin.
+  double best_bottleneck =
+      state_.path_bottleneck(
+          routing.path(flow.src_host, flow.dst_host, flow.tree), loads) +
+      config_.min_improvement_bps;
+
+  for (int tree = 0; tree < routing.num_trees(); ++tree) {
+    if (tree == flow.tree) continue;
+    const double bottleneck = state_.path_bottleneck(
+        routing.path(flow.src_host, flow.dst_host, tree), loads);
+    if (bottleneck > best_bottleneck) {
+      best_bottleneck = bottleneck;
+      best_tree = tree;
+    }
+  }
+
+  if (best_tree != flow.tree) {
+    flow.tree = best_tree;
+    flow.last_reroute = sim_.now();
+    ++reroutes_;
+    controller_.reroute_flow(flow.key, best_tree, config_.mechanism);
+  }
+}
+
+}  // namespace planck::te

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "controller/controller.hpp"
+#include "core/collector.hpp"
+#include "sim/simulation.hpp"
+#include "te/te_state.hpp"
+
+namespace planck::te {
+
+struct PlanckTeConfig {
+  /// Flow entries expire after this long (§7.1 uses 3 ms, approximately
+  /// the latency of a reroute) so stale rates don't distort available
+  /// bandwidth.
+  sim::Duration flow_timeout = sim::milliseconds(3);
+  controller::RerouteMechanism mechanism = controller::RerouteMechanism::kArp;
+  /// Ignore flows slower than this when rerouting (noise floor).
+  double min_rate_bps = 50e6;
+  /// Only move a flow if the best alternate's expected bottleneck beats
+  /// the current path's by at least this much — hysteresis so microscopic
+  /// gains (a mouse sharing a link) don't trigger reroutes.
+  double min_improvement_bps = 500e6;
+  /// Do not move the same flow twice within this window: congestion
+  /// notifications that arrive while a reroute is still propagating
+  /// (~2.5-3.5 ms for ARP, §7.2) describe the pre-reroute world and acting
+  /// on them causes route flapping.
+  sim::Duration reroute_cooldown = sim::milliseconds(3);
+};
+
+/// The paper's traffic-engineering application (§6.2, Algorithm 1): for
+/// every congestion notification, greedily move each reported flow to the
+/// pre-installed alternate path with the largest expected bottleneck
+/// capacity, using single-message reroutes (spoofed ARP or one OpenFlow
+/// rule).
+class PlanckTe {
+ public:
+  PlanckTe(sim::Simulation& simulation, controller::Controller& controller,
+           const PlanckTeConfig& config);
+
+  /// Algorithm 1: process_cong_ntfy.
+  void process_congestion(const core::CongestionEvent& event);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t reroutes() const { return reroutes_; }
+  const TeState& state() const { return state_; }
+
+ private:
+  /// Algorithm 1: greedy_route_flow.
+  void greedy_route_flow(KnownFlow& flow);
+
+  sim::Simulation& sim_;
+  controller::Controller& controller_;
+  PlanckTeConfig config_;
+  TeState state_;
+
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t reroutes_ = 0;
+};
+
+}  // namespace planck::te

@@ -1,0 +1,115 @@
+#include "workload/testbed.hpp"
+
+#include <string>
+
+namespace planck::workload {
+
+Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
+                 const TestbedConfig& config)
+    : sim_(simulation), graph_(graph), config_(config),
+      link_rng_(config.seed) {
+  // Instantiate hosts and switches.
+  for (int node = 0; node < graph_.num_nodes(); ++node) {
+    if (graph_.is_host(node)) {
+      const int idx = graph_.host_index(node);
+      auto host = std::make_unique<tcp::Host>(sim_, idx, config.host_config);
+      if (static_cast<int>(hosts_.size()) <= idx) {
+        hosts_.resize(static_cast<std::size_t>(idx) + 1);
+      }
+      hosts_[static_cast<std::size_t>(idx)] = std::move(host);
+    } else {
+      const int data_ports = graph_.num_ports(node);
+      const int total_ports = data_ports + (config.enable_planck ? 1 : 0);
+      switchsim::SwitchConfig sw_config = config.switch_config;
+      sw_config.seed ^= static_cast<std::uint64_t>(
+          0x100001 * (graph_.switch_index(node) + 1));
+      auto sw = std::make_unique<switchsim::Switch>(
+          sim_, "sw" + std::to_string(graph_.switch_index(node)), total_ports,
+          sw_config);
+      switch_by_node_[node] = sw.get();
+      switches_.push_back(std::move(sw));
+    }
+  }
+
+  // Wire the data plane: one unidirectional Link per cable direction.
+  for (int node = 0; node < graph_.num_nodes(); ++node) {
+    for (int port = 0; port < graph_.num_ports(node); ++port) {
+      const net::PortRef peer = graph_.peer(node, port);
+      if (!peer.valid()) continue;
+      const net::LinkSpec& spec = graph_.link_spec(node, port);
+      net::Link* out = make_link(spec.rate_bps, spec.propagation);
+      // Receiving end.
+      if (graph_.is_host(peer.node)) {
+        out->connect(hosts_[static_cast<std::size_t>(
+                                graph_.host_index(peer.node))]
+                         .get(),
+                     0);
+      } else {
+        out->connect(switch_by_node_.at(peer.node), peer.port);
+      }
+      // Transmitting end.
+      if (graph_.is_host(node)) {
+        hosts_[static_cast<std::size_t>(graph_.host_index(node))]
+            ->attach_link(out);
+      } else {
+        switch_by_node_.at(node)->attach_link(port, out);
+      }
+    }
+  }
+
+  // Controller + Planck collectors.
+  controller_ = std::make_unique<controller::Controller>(
+      sim_, graph_, config.controller_config);
+  for (int h = 0; h < num_hosts(); ++h) {
+    controller_->attach_host(h, hosts_[static_cast<std::size_t>(h)].get());
+  }
+  for (const auto& [node, sw] : switch_by_node_) {
+    int monitor_port = -1;
+    if (config.enable_planck) {
+      monitor_port = graph_.num_ports(node);  // the extra port
+      auto collector = std::make_unique<core::Collector>(
+          sim_, "collector-" + sw->name(), node, config.collector_config);
+      // Monitor cable: same rate as the switch's first data link.
+      std::int64_t rate = 10'000'000'000;
+      for (int p = 0; p < graph_.num_ports(node); ++p) {
+        if (graph_.wired(node, p)) {
+          rate = graph_.link_spec(node, p).rate_bps;
+          break;
+        }
+      }
+      net::Link* monitor_link =
+          make_link(rate, config.monitor_propagation);
+      monitor_link->connect(collector.get(), 0);
+      sw->attach_link(monitor_port, monitor_link);
+      controller_->attach_collector(node, collector.get());
+      collector_by_node_[node] = collector.get();
+      collectors_.push_back(std::move(collector));
+    }
+    controller_->attach_switch(node, sw, monitor_port);
+  }
+
+  controller_->install_routes();
+}
+
+net::Link* Testbed::make_link(std::int64_t rate_bps,
+                              sim::Duration propagation) {
+  // Clock-tolerance skew (see TestbedConfig::link_rate_ppm).
+  if (config_.link_rate_ppm > 0) {
+    const double skew = link_rng_.uniform(-config_.link_rate_ppm,
+                                          config_.link_rate_ppm) *
+                        1e-6;
+    rate_bps = static_cast<std::int64_t>(
+        static_cast<double>(rate_bps) * (1.0 + skew));
+  }
+  links_.push_back(std::make_unique<net::Link>(sim_, rate_bps, propagation));
+  return links_.back().get();
+}
+
+std::vector<std::pair<int, switchsim::Switch*>> Testbed::switch_nodes() {
+  std::vector<std::pair<int, switchsim::Switch*>> out;
+  out.reserve(switch_by_node_.size());
+  for (const auto& [node, sw] : switch_by_node_) out.emplace_back(node, sw);
+  return out;
+}
+
+}  // namespace planck::workload

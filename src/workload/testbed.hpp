@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "core/collector.hpp"
+#include "net/link.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "switchsim/switch.hpp"
+#include "tcp/host.hpp"
+
+namespace planck::workload {
+
+struct TestbedConfig {
+  switchsim::SwitchConfig switch_config;
+  tcp::HostConfig host_config;
+  controller::ControllerConfig controller_config;
+  core::CollectorConfig collector_config;
+  /// Give every switch a monitor port (one extra port beyond the graph's
+  /// data ports) wired to its own collector, and enable mirroring.
+  bool enable_planck = true;
+  /// Link used for monitor-port cables (defaults to the data-link spec of
+  /// the graph's first host link).
+  sim::Duration monitor_propagation = sim::microseconds(1);
+
+  /// Per-link clock tolerance, applied as a random rate skew of up to
+  /// +/- this many parts per million (IEEE 802.3 allows +/-100 ppm).
+  /// Without it the simulation is pathologically synchronous: e.g. a
+  /// saturated flow's arrival rate exactly equals a port's drain rate, the
+  /// queue freezes at the drop threshold, and a competing flow's
+  /// retransmissions lose the admission race forever. Real oscillators
+  /// drift; so do these.
+  double link_rate_ppm = 50.0;
+  std::uint64_t seed = 42;
+};
+
+/// Instantiates a running network from a TopologyGraph: switches (with an
+/// extra monitor port per switch when Planck is enabled), hosts, cables,
+/// per-switch collectors, and the controller, fully wired and with routes
+/// installed. This is the simulated equivalent of the paper's testbed
+/// (§7.1).
+class Testbed {
+ public:
+  Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
+          const TestbedConfig& config);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  const net::TopologyGraph& graph() const { return graph_; }
+  controller::Controller& controller() { return *controller_; }
+
+  tcp::Host* host(int host_index) {
+    return hosts_[static_cast<std::size_t>(host_index)].get();
+  }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+
+  switchsim::Switch* switch_by_node(int graph_node) {
+    return switch_by_node_.at(graph_node);
+  }
+  switchsim::Switch* switch_by_index(int switch_index) {
+    return switches_[static_cast<std::size_t>(switch_index)].get();
+  }
+  int num_switches() const { return static_cast<int>(switches_.size()); }
+
+  /// nullptr when Planck is disabled.
+  core::Collector* collector_by_node(int graph_node) {
+    const auto it = collector_by_node_.find(graph_node);
+    return it == collector_by_node_.end() ? nullptr : it->second;
+  }
+  const std::vector<std::unique_ptr<core::Collector>>& collectors() const {
+    return collectors_;
+  }
+
+  /// All switches as (graph node, pointer) pairs — what PollTe polls.
+  std::vector<std::pair<int, switchsim::Switch*>> switch_nodes();
+
+ private:
+  net::Link* make_link(std::int64_t rate_bps, sim::Duration propagation);
+
+  sim::Simulation& sim_;
+  net::TopologyGraph graph_;
+  TestbedConfig config_;
+  sim::Rng link_rng_{42};
+
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unique_ptr<tcp::Host>> hosts_;
+  std::vector<std::unique_ptr<switchsim::Switch>> switches_;
+  std::vector<std::unique_ptr<core::Collector>> collectors_;
+  std::unordered_map<int, switchsim::Switch*> switch_by_node_;
+  std::unordered_map<int, core::Collector*> collector_by_node_;
+  std::unique_ptr<controller::Controller> controller_;
+};
+
+}  // namespace planck::workload

@@ -1,0 +1,96 @@
+#include "workload/workloads.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace planck::workload {
+
+std::vector<FlowSpec> make_stride(int num_hosts, int stride,
+                                  std::int64_t bytes) {
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(num_hosts));
+  for (int x = 0; x < num_hosts; ++x) {
+    flows.push_back(FlowSpec{x, (x + stride) % num_hosts, bytes, 0});
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> make_random_bijection(int num_hosts,
+                                            std::int64_t bytes,
+                                            sim::Rng& rng) {
+  std::vector<int> perm(static_cast<std::size_t>(num_hosts));
+  std::iota(perm.begin(), perm.end(), 0);
+  // Sattolo's algorithm yields a uniform single-cycle permutation, which
+  // has no fixed points by construction.
+  for (std::size_t i = perm.size() - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(num_hosts));
+  for (int x = 0; x < num_hosts; ++x) {
+    flows.push_back(
+        FlowSpec{x, perm[static_cast<std::size_t>(x)], bytes, 0});
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> make_random(int num_hosts, std::int64_t bytes,
+                                  sim::Rng& rng) {
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(num_hosts));
+  for (int x = 0; x < num_hosts; ++x) {
+    int dst = x;
+    while (dst == x) {
+      dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_hosts)));
+    }
+    flows.push_back(FlowSpec{x, dst, bytes, 0});
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> make_staggered(int num_hosts, std::int64_t bytes,
+                                     double p_edge, double p_pod,
+                                     sim::Rng& rng) {
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(num_hosts));
+  for (int x = 0; x < num_hosts; ++x) {
+    const int edge_base = (x / 2) * 2;
+    const int pod_base = (x / 4) * 4;
+    int dst = x;
+    const double p = rng.uniform();
+    int guard = 0;
+    while (dst == x && ++guard < 1000) {
+      if (p < p_edge) {
+        dst = edge_base + static_cast<int>(rng.below(2));
+      } else if (p < p_edge + p_pod) {
+        dst = pod_base + static_cast<int>(rng.below(4));
+      } else {
+        dst =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(num_hosts)));
+      }
+    }
+    if (dst == x) dst = (x + 1) % num_hosts;
+    flows.push_back(FlowSpec{x, dst, bytes, 0});
+  }
+  return flows;
+}
+
+std::vector<std::vector<int>> make_shuffle_orders(int num_hosts,
+                                                  sim::Rng& rng) {
+  std::vector<std::vector<int>> orders(
+      static_cast<std::size_t>(num_hosts));
+  for (int x = 0; x < num_hosts; ++x) {
+    auto& order = orders[static_cast<std::size_t>(x)];
+    for (int d = 0; d < num_hosts; ++d) {
+      if (d != x) order.push_back(d);
+    }
+    for (std::size_t i = order.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+      std::swap(order[i], order[j]);
+    }
+  }
+  return orders;
+}
+
+}  // namespace planck::workload

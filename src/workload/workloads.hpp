@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace planck::workload {
+
+/// One flow of a workload: src/dst host indices and transfer size.
+struct FlowSpec {
+  int src = 0;
+  int dst = 0;
+  std::int64_t bytes = 0;
+  sim::Duration start_offset = 0;  // relative to workload start
+};
+
+/// Stride(k) (§7.1): host x sends to (x + k) mod n. All flows cross the
+/// core when k = n/2.
+std::vector<FlowSpec> make_stride(int num_hosts, int stride,
+                                  std::int64_t bytes);
+
+/// Random bijection (§7.1): a random permutation with no fixed points —
+/// every host sources exactly one flow and sinks exactly one flow.
+std::vector<FlowSpec> make_random_bijection(int num_hosts,
+                                            std::int64_t bytes,
+                                            sim::Rng& rng);
+
+/// Random (§7.1): every host picks a uniform destination other than
+/// itself; hotspots may form.
+std::vector<FlowSpec> make_random(int num_hosts, std::int64_t bytes,
+                                  sim::Rng& rng);
+
+/// Staggered probability workload (as in Hedera): with probability
+/// p_edge the destination is under the same edge switch, with p_pod in
+/// the same pod, otherwise anywhere. Host-to-index mapping follows the
+/// fat-tree convention (4 hosts per pod, 2 per edge).
+std::vector<FlowSpec> make_staggered(int num_hosts, std::int64_t bytes,
+                                     double p_edge, double p_pod,
+                                     sim::Rng& rng);
+
+/// Shuffle (§7.1): every host sends `bytes_per_pair` to every other host
+/// in random order, `concurrency` transfers at a time. Because the runner
+/// starts successors as flows finish, the shuffle is described by this
+/// spec rather than a flat flow list.
+struct ShuffleSpec {
+  std::int64_t bytes_per_pair = 0;
+  int concurrency = 2;
+};
+
+/// Destination orders for a shuffle, one permutation per source host.
+std::vector<std::vector<int>> make_shuffle_orders(int num_hosts,
+                                                  sim::Rng& rng);
+
+}  // namespace planck::workload

@@ -1,0 +1,250 @@
+// Tests for Planck's rate estimation (§3.2.2): exact recovery from full
+// and subsampled streams, burst clustering, the 700 us force-out, the
+// out-of-order rule, and contrast with the rolling-average estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rate_estimator.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace planck::core {
+namespace {
+
+using sim::microseconds;
+using sim::Time;
+
+/// Feeds a perfectly paced stream at `rate_bps` for `duration`, returning
+/// the estimator's final estimate.
+double feed_cbr(BurstRateEstimator& est, double rate_bps,
+                sim::Duration duration, std::uint32_t payload = 1460) {
+  const double interval_ns = payload * 8.0 / rate_bps * 1e9;
+  std::uint64_t seq = 0;
+  for (double t = 0; t < static_cast<double>(duration); t += interval_ns) {
+    est.add_sample(static_cast<Time>(t), seq, payload);
+    seq += payload;
+  }
+  return est.has_estimate() ? est.rate_bps() : -1.0;
+}
+
+TEST(BurstEstimator, RecoversCbrRateExactly) {
+  BurstRateEstimator est;
+  const double got = feed_cbr(est, 5e9, sim::milliseconds(5));
+  EXPECT_NEAR(got, 5e9, 5e7);  // within 1%
+}
+
+TEST(BurstEstimator, NoEstimateFromSinglePacket) {
+  BurstRateEstimator est;
+  est.add_sample(0, 0, 1460);
+  EXPECT_FALSE(est.has_estimate());
+}
+
+TEST(BurstEstimator, NoEstimateWithinOneShortBurst) {
+  BurstRateEstimator est;
+  // 10 back-to-back packets at 10G: 1.23 us apart, all within 700 us.
+  for (int i = 0; i < 10; ++i) {
+    est.add_sample(i * 1231, static_cast<std::uint64_t>(i) * 1460, 1460);
+  }
+  EXPECT_FALSE(est.has_estimate());
+}
+
+TEST(BurstEstimator, GapClosesBurstAndAveragesOverGap) {
+  // Slow-start shape: a line-rate burst then an RTT of silence. The
+  // estimate must be the byte count over burst + gap (the per-RTT average,
+  // Figure 10(b)) — NOT the within-burst line rate.
+  BurstRateEstimator est;
+  const std::int64_t burst_bytes = 10 * 1460;
+  for (int i = 0; i < 10; ++i) {
+    est.add_sample(i * 1231, static_cast<std::uint64_t>(i) * 1460, 1460);
+  }
+  // Next burst begins one 250 us RTT after the first began.
+  const Time t2 = microseconds(250);
+  est.add_sample(t2, static_cast<std::uint64_t>(burst_bytes), 1460);
+  ASSERT_TRUE(est.has_estimate());
+  const double expected = static_cast<double>(burst_bytes) * 8.0 /
+                          sim::to_seconds(t2);
+  EXPECT_NEAR(est.rate_bps(), expected, expected * 0.01);
+  EXPECT_LT(est.rate_bps(), 1e9);  // far from the 9.5G within-burst rate
+}
+
+TEST(BurstEstimator, SteadyStateForcedEstimatesEveryMaxBurst) {
+  BurstRateEstimator est;
+  // Continuous 9.49 Gbps stream for 10 ms: expect ~estimates every 700 us.
+  feed_cbr(est, 9.49e9, sim::milliseconds(10));
+  EXPECT_NEAR(static_cast<double>(est.estimates_produced()),
+              10000.0 / 700.0, 3.0);
+}
+
+TEST(BurstEstimator, EstimateTimestampAdvances) {
+  BurstRateEstimator est;
+  feed_cbr(est, 9e9, sim::milliseconds(3));
+  ASSERT_TRUE(est.has_estimate());
+  EXPECT_GT(est.estimated_at(), sim::milliseconds(2));
+}
+
+TEST(BurstEstimator, IgnoresRetransmissions) {
+  BurstRateEstimator est;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 100; ++i) {
+    est.add_sample(i * 1231, seq, 1460);
+    seq += 1460;
+  }
+  const std::uint64_t ignored_before = est.samples_ignored();
+  // A retransmission: sequence jumps backwards.
+  est.add_sample(100 * 1231, 0, 1460);
+  EXPECT_EQ(est.samples_ignored(), ignored_before + 1);
+  // And it must not poison the next estimate.
+  est.add_sample(microseconds(400), seq, 1460);
+  ASSERT_TRUE(est.has_estimate());
+  EXPECT_GT(est.rate_bps(), 0.0);
+}
+
+TEST(BurstEstimator, SubsamplingDoesNotBiasEstimate) {
+  // The core property (§3.2.2): dropping arbitrary samples must not change
+  // the estimate because sequence numbers carry the byte count.
+  const double rate = 7e9;
+  std::vector<std::pair<Time, std::uint64_t>> all;
+  const double interval_ns = 1460 * 8.0 / rate * 1e9;
+  std::uint64_t seq = 0;
+  for (double t = 0; t < 5e6; t += interval_ns) {  // 5 ms
+    all.emplace_back(static_cast<Time>(t), seq);
+    seq += 1460;
+  }
+  sim::Rng rng(1234);
+  for (double keep : {1.0, 0.5, 0.1, 0.02}) {
+    BurstRateEstimator est;
+    for (const auto& [t, s] : all) {
+      // Always keep the first sample so the burst anchor exists.
+      if (s == 0 || rng.uniform() < keep) est.add_sample(t, s, 1460);
+    }
+    ASSERT_TRUE(est.has_estimate()) << "keep=" << keep;
+    EXPECT_NEAR(est.rate_bps(), rate, rate * 0.05) << "keep=" << keep;
+  }
+}
+
+TEST(BurstEstimator, TracksRateChanges) {
+  BurstRateEstimator est;
+  // 2 Gbps for 3 ms, then 8 Gbps for 3 ms.
+  std::uint64_t seq = 0;
+  auto feed = [&](double rate, Time start, Time end) {
+    const double interval = 1460 * 8.0 / rate * 1e9;
+    for (double t = static_cast<double>(start);
+         t < static_cast<double>(end); t += interval) {
+      est.add_sample(static_cast<Time>(t), seq, 1460);
+      seq += 1460;
+    }
+  };
+  feed(2e9, 0, sim::milliseconds(3));
+  feed(8e9, sim::milliseconds(3), sim::milliseconds(6));
+  ASSERT_TRUE(est.has_estimate());
+  EXPECT_NEAR(est.rate_bps(), 8e9, 8e8);
+}
+
+TEST(BurstEstimator, SparseFlowAveragedOverGaps) {
+  // One packet every 500 us (beyond the gap threshold): each sample closes
+  // the previous "burst"; the rate is ~payload / 500 us.
+  BurstRateEstimator est;
+  for (int i = 0; i < 20; ++i) {
+    est.add_sample(i * microseconds(500),
+                   static_cast<std::uint64_t>(i) * 1460, 1460);
+  }
+  ASSERT_TRUE(est.has_estimate());
+  const double expected = 1460 * 8.0 / 500e-6;
+  EXPECT_NEAR(est.rate_bps(), expected, expected * 0.01);
+}
+
+TEST(BurstEstimator, ConfigurableThresholds) {
+  EstimatorConfig cfg;
+  cfg.min_burst_gap = microseconds(50);
+  cfg.max_burst = microseconds(100);
+  BurstRateEstimator est(cfg);
+  feed_cbr(est, 9e9, sim::milliseconds(1));
+  // Forced estimates every ~100 us over 1 ms.
+  EXPECT_NEAR(static_cast<double>(est.estimates_produced()), 10.0, 2.0);
+}
+
+TEST(BurstEstimator, CountsSamples) {
+  BurstRateEstimator est;
+  for (int i = 0; i < 5; ++i) {
+    est.add_sample(i * 1000, static_cast<std::uint64_t>(i) * 100, 100);
+  }
+  EXPECT_EQ(est.samples_seen(), 5u);
+}
+
+TEST(RollingAverage, ExactOnUniformStream) {
+  RollingAverageEstimator est(microseconds(200));
+  // 10 packets of 1460 over 200 us = 58.4 Mbit/s... feed till window full.
+  const double rate = 5e9;
+  const double interval = 1460 * 8.0 / rate * 1e9;
+  Time t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t = static_cast<Time>(i * interval);
+    est.add_sample(t, 1460);
+  }
+  EXPECT_NEAR(est.rate_bps(t), rate, rate * 0.02);
+}
+
+TEST(RollingAverage, JitteryDuringSlowStartBursts) {
+  // Figure 10(a): with on/off bursts, a 200 us window sometimes sees zero
+  // bytes and sometimes a whole burst -> wildly varying estimates.
+  RollingAverageEstimator est(microseconds(200));
+  // Bursts of 20 packets every 150 us: a 200 us window sees one burst or
+  // two depending on phase, so instantaneous estimates swing widely.
+  std::vector<std::pair<Time, std::int64_t>> events;
+  for (int burst = 0; burst < 30; ++burst) {
+    const Time start = burst * microseconds(150);
+    for (int i = 0; i < 20; ++i) events.emplace_back(start + i * 1231, 1460);
+  }
+  std::vector<double> rates;
+  std::size_t next = 0;
+  for (Time t = 0; t < sim::milliseconds(4); t += microseconds(25)) {
+    while (next < events.size() && events[next].first <= t) {
+      est.add_sample(events[next].first,
+                     static_cast<std::uint32_t>(events[next].second));
+      ++next;
+    }
+    if (t > microseconds(300)) rates.push_back(est.rate_bps(t));
+  }
+  const double mx = *std::max_element(rates.begin(), rates.end());
+  const double mn = *std::min_element(rates.begin(), rates.end());
+  EXPECT_GT(mx, 1.5 * mn);  // jitter: window-phase dependent estimates
+}
+
+TEST(RollingAverage, WindowEvicts) {
+  RollingAverageEstimator est(microseconds(100));
+  est.add_sample(0, 1460);
+  EXPECT_GT(est.rate_bps(microseconds(50)), 0.0);
+  EXPECT_EQ(est.rate_bps(microseconds(500)), 0.0);
+}
+
+// Parameterized sweep: exact recovery across rates and sampling ratios.
+class EstimatorSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(EstimatorSweep, RecoverRateUnderSampling) {
+  const double rate = std::get<0>(GetParam());
+  const double keep = std::get<1>(GetParam());
+  sim::Rng rng(static_cast<std::uint64_t>(rate + keep * 1000));
+  BurstRateEstimator est;
+  const double interval_ns = 1460 * 8.0 / rate * 1e9;
+  std::uint64_t seq = 0;
+  for (double t = 0; t < 1e7; t += interval_ns) {  // 10 ms
+    if (seq == 0 || rng.uniform() < keep) {
+      est.add_sample(static_cast<Time>(t), seq, 1460);
+    }
+    seq += 1460;
+  }
+  ASSERT_TRUE(est.has_estimate());
+  EXPECT_NEAR(est.rate_bps(), rate, rate * 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndSampling, EstimatorSweep,
+    ::testing::Combine(::testing::Values(1e9, 2.5e9, 5e9, 9.4e9),
+                       ::testing::Values(1.0, 0.3, 0.05)));
+
+}  // namespace
+}  // namespace planck::core

@@ -1,0 +1,233 @@
+// Tests for multipath routing (§6.2): PAST spanning trees on the fat-tree,
+// shadow-tree alternates, path validity against the physical wiring,
+// destination-consistency (a tree is a tree), and path diversity.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "controller/routing.hpp"
+#include "net/topology.hpp"
+
+namespace planck::controller {
+namespace {
+
+using net::TopologyGraph;
+
+struct Fixture {
+  Fixture() : graph(net::make_fat_tree_16(net::LinkSpec{})), routing(graph) {}
+  TopologyGraph graph;
+  Routing routing;
+};
+
+TEST(Routing, FatTreeHasFourTrees) {
+  Fixture f;
+  EXPECT_EQ(f.routing.num_trees(), 4);
+  EXPECT_EQ(f.routing.num_hosts(), 16);
+}
+
+TEST(Routing, StarHasOneTrivialTree) {
+  const TopologyGraph g = net::make_star(8, net::LinkSpec{});
+  Routing r(g);
+  EXPECT_EQ(r.num_trees(), 1);
+  const net::RoutePath& p = r.path(2, 5, 0);
+  ASSERT_EQ(p.hops.size(), 1u);
+  EXPECT_EQ(p.hops[0].in_port, 2);
+  EXPECT_EQ(p.hops[0].out_port, 5);
+}
+
+TEST(Routing, SelfPathIsEmpty) {
+  Fixture f;
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_TRUE(f.routing.path(3, 3, t).hops.empty());
+  }
+}
+
+TEST(Routing, UnsupportedGraphThrows) {
+  TopologyGraph g;
+  g.add_host();
+  g.add_host();
+  g.add_switch(2);
+  g.add_switch(2);
+  EXPECT_THROW(Routing r(g), std::invalid_argument);
+}
+
+TEST(Routing, PathHopLengthsByLocality) {
+  Fixture f;
+  // Same edge: 1 hop. Same pod, different edge: 3. Different pod: 5.
+  EXPECT_EQ(f.routing.path(0, 1, 0).hops.size(), 1u);
+  EXPECT_EQ(f.routing.path(0, 2, 0).hops.size(), 3u);
+  EXPECT_EQ(f.routing.path(0, 4, 0).hops.size(), 5u);
+}
+
+/// Validates a path against the physical wiring: consecutive hops must be
+/// joined by actual cables, the first hop reached from the source host,
+/// and the last hop's output port wired to the destination host.
+void check_path_physical(const TopologyGraph& g, const net::RoutePath& p) {
+  ASSERT_FALSE(p.hops.empty());
+  const int src_node = g.host_node(p.src_host);
+  const int dst_node = g.host_node(p.dst_host);
+  // Source uplink lands on the first hop at its in_port.
+  const net::PortRef first = g.peer(src_node, 0);
+  EXPECT_EQ(first.node, p.hops.front().switch_node);
+  EXPECT_EQ(first.port, p.hops.front().in_port);
+  // Chain.
+  for (std::size_t i = 0; i + 1 < p.hops.size(); ++i) {
+    const net::PortRef next =
+        g.peer(p.hops[i].switch_node, p.hops[i].out_port);
+    EXPECT_EQ(next.node, p.hops[i + 1].switch_node);
+    EXPECT_EQ(next.port, p.hops[i + 1].in_port);
+  }
+  // Egress reaches the destination host.
+  const net::PortRef last =
+      g.peer(p.hops.back().switch_node, p.hops.back().out_port);
+  EXPECT_EQ(last.node, dst_node);
+}
+
+TEST(Routing, AllPathsArePhysicallyValid) {
+  Fixture f;
+  for (int s = 0; s < 16; ++s) {
+    for (int d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      for (int t = 0; t < 4; ++t) {
+        check_path_physical(f.graph, f.routing.path(s, d, t));
+      }
+    }
+  }
+}
+
+TEST(Routing, TreesAreDestinationConsistent) {
+  // PAST property: forwarding is a function of (switch, destination MAC)
+  // alone — every source's path to (d, t) must use the same output port at
+  // any shared switch. This is what lets the controller install one MAC
+  // rule per (d, t) per switch (§4.1).
+  Fixture f;
+  for (int d = 0; d < 16; ++d) {
+    for (int t = 0; t < 4; ++t) {
+      std::map<int, int> out_port_at_switch;
+      for (int s = 0; s < 16; ++s) {
+        if (s == d) continue;
+        for (const net::PathHop& hop : f.routing.path(s, d, t).hops) {
+          const auto [it, inserted] =
+              out_port_at_switch.emplace(hop.switch_node, hop.out_port);
+          EXPECT_EQ(it->second, hop.out_port)
+              << "switch " << hop.switch_node << " d=" << d << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(Routing, InterPodTreesUseDistinctCores) {
+  Fixture f;
+  using namespace net::fat_tree;
+  for (int s = 0; s < 16; ++s) {
+    for (int d = 0; d < 16; ++d) {
+      if (pod_of_host(s) == pod_of_host(d)) continue;
+      std::set<int> cores;
+      for (int t = 0; t < 4; ++t) {
+        const net::RoutePath& p = f.routing.path(s, d, t);
+        ASSERT_EQ(p.hops.size(), 5u);
+        cores.insert(p.hops[2].switch_node);
+      }
+      EXPECT_EQ(cores.size(), 4u) << "s=" << s << " d=" << d;
+    }
+  }
+}
+
+TEST(Routing, AdjacentTreePairsAreLinkDisjointAcrossAggGroups) {
+  // In a k=4 fat-tree, trees through agg 0 (cores 0,1) and agg 1
+  // (cores 2,3) share no links for a given src/dst pair. Relative trees
+  // t and t+2 always land in different agg groups.
+  Fixture f;
+  for (int s : {0, 3, 7, 12}) {
+    for (int d : {4, 9, 15}) {
+      if (s == d || net::fat_tree::pod_of_host(s) ==
+                        net::fat_tree::pod_of_host(d)) {
+        continue;
+      }
+      for (int t = 0; t < 2; ++t) {
+        std::set<std::pair<int, int>> links_a;
+        for (const auto& l :
+             f.routing.links_on_path(f.routing.path(s, d, t))) {
+          links_a.insert({l.node, l.port});
+        }
+        int shared = 0;
+        for (const auto& l :
+             f.routing.links_on_path(f.routing.path(s, d, t + 2))) {
+          shared += links_a.count({l.node, l.port});
+        }
+        // Only the final egress-switch -> host link can coincide.
+        EXPECT_LE(shared, 1) << "s=" << s << " d=" << d << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Routing, BaseCoreSpreadsDestinations) {
+  // PAST hashing: the 16 destinations should not all share one core.
+  std::set<int> cores;
+  for (int d = 0; d < 16; ++d) cores.insert(Routing::base_core(d));
+  EXPECT_EQ(cores.size(), 4u);
+}
+
+TEST(Routing, LinksOnPathMatchesHops) {
+  Fixture f;
+  const net::RoutePath& p = f.routing.path(0, 15, 1);
+  const auto links = f.routing.links_on_path(p);
+  ASSERT_EQ(links.size(), p.hops.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    EXPECT_EQ(links[i].node, p.hops[i].switch_node);
+    EXPECT_EQ(links[i].port, p.hops[i].out_port);
+  }
+}
+
+TEST(Routing, SamePodPathsAvoidCore) {
+  Fixture f;
+  for (int t = 0; t < 4; ++t) {
+    const net::RoutePath& p = f.routing.path(0, 2, t);
+    ASSERT_EQ(p.hops.size(), 3u);
+    // Middle hop is an aggregation switch, never a core.
+    const int agg = p.hops[1].switch_node;
+    const int idx = f.graph.switch_index(agg);
+    EXPECT_GE(idx, 8);
+    EXPECT_LT(idx, 16);
+  }
+}
+
+TEST(Routing, PathMetadataFilled) {
+  Fixture f;
+  const net::RoutePath& p = f.routing.path(2, 9, 3);
+  EXPECT_EQ(p.src_host, 2);
+  EXPECT_EQ(p.dst_host, 9);
+  EXPECT_EQ(p.tree, 3);
+}
+
+// Parameterized: every (src, dst) pair on every tree reaches exactly the
+// destination and never loops.
+class RoutingPairTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RoutingPairTest, NoLoopsOnAnyTree) {
+  Fixture f;
+  const int s = std::get<0>(GetParam());
+  const int d = std::get<1>(GetParam());
+  if (s == d) GTEST_SKIP();
+  for (int t = 0; t < 4; ++t) {
+    const net::RoutePath& p = f.routing.path(s, d, t);
+    std::set<int> visited;
+    for (const net::PathHop& hop : p.hops) {
+      EXPECT_TRUE(visited.insert(hop.switch_node).second)
+          << "loop at switch " << hop.switch_node;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, RoutingPairTest,
+    ::testing::Combine(::testing::Values(0, 1, 5, 10, 15),
+                       ::testing::Values(0, 2, 7, 8, 14)));
+
+}  // namespace
+}  // namespace planck::controller

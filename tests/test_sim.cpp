@@ -1,0 +1,449 @@
+// Tests for the simulation substrate: event queue ordering and
+// cancellation, the simulation driver, timers, the inline callable, and
+// the deterministic PRNG.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/inline_function.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+#include "sim/timer.hpp"
+
+namespace planck::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Time helpers
+// ---------------------------------------------------------------------------
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(microseconds(1), 1'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(milliseconds(3) + microseconds(500), 3'500'000);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(microseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_microseconds(nanoseconds(500)), 0.5);
+}
+
+TEST(Time, SerializationDelayRoundsUp) {
+  // 1538 bytes at 10 Gbps = 1230.4 ns -> 1231 ns.
+  EXPECT_EQ(serialization_delay(1538, 10'000'000'000), 1231);
+  // 1 byte at 1 Gbps = 8 ns exactly.
+  EXPECT_EQ(serialization_delay(1, 1'000'000'000), 8);
+  EXPECT_EQ(serialization_delay(0, 1'000'000'000), 0);
+  EXPECT_EQ(serialization_delay(100, 0), 0);
+}
+
+TEST(Time, BytesInInterval) {
+  EXPECT_EQ(bytes_in(seconds(1), 8'000), 1000);
+  EXPECT_EQ(bytes_in(microseconds(1), 10'000'000'000), 1250);
+  EXPECT_EQ(bytes_in(-5, 10'000'000'000), 0);
+}
+
+// ---------------------------------------------------------------------------
+// InlineFunction
+// ---------------------------------------------------------------------------
+
+TEST(InlineFunction, CallsSmallLambda) {
+  int x = 0;
+  InlineFunction<void()> f([&x] { x = 42; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(InlineFunction, EmptyIsFalsey) {
+  InlineFunction<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, MoveTransfersOwnership) {
+  int calls = 0;
+  InlineFunction<void()> a([&calls] { ++calls; });
+  InlineFunction<void()> b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFunction, ReturnsValues) {
+  InlineFunction<int(int, int)> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunction, LargeCaptureFallsBackToHeap) {
+  struct Big {
+    char data[256] = {};
+  };
+  Big big;
+  big.data[0] = 7;
+  InlineFunction<char()> f([big] { return big.data[0]; });
+  EXPECT_EQ(f(), 7);
+  InlineFunction<char()> g(std::move(f));
+  EXPECT_EQ(g(), 7);
+}
+
+TEST(InlineFunction, DestroysCapturedState) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> weak = token;
+  {
+    InlineFunction<void()> f([token] { (void)*token; });
+    token.reset();
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(InlineFunction, MoveAssignmentReleasesOldState) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = token;
+  InlineFunction<void()> f([token] { (void)*token; });
+  token.reset();
+  f = InlineFunction<void()>([] {});
+  EXPECT_TRUE(weak.expired());
+  f();
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ReportsPopTime) {
+  EventQueue q;
+  q.push(123, [] {});
+  Time when = 0;
+  q.pop(&when)();
+  EXPECT_EQ(when, 123);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int ran = 0;
+  q.push(1, [&] { ++ran; });
+  const EventId id = q.push(2, [&] { ran += 100; });
+  q.push(3, [&] { ++ran; });
+  q.cancel(id);
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, CancelFirstEventAdvancesNextTime) {
+  EventQueue q;
+  const EventId id = q.push(1, [] {});
+  q.push(2, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 2);
+}
+
+TEST(EventQueue, CancelAllLeavesEmpty) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(q.push(i, [] {}));
+  for (EventId id : ids) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InvalidCancelIsIgnored) {
+  EventQueue q;
+  q.cancel(0);
+  q.cancel(999999);
+  q.push(1, [] {});
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, StressRandomOrderPopsSorted) {
+  EventQueue q;
+  Rng rng(99);
+  std::vector<Time> popped;
+  for (int i = 0; i < 2000; ++i) {
+    q.push(static_cast<Time>(rng.below(10000)), [] {});
+  }
+  while (!q.empty()) {
+    Time when = 0;
+    q.pop(&when)();
+    popped.push_back(when);
+  }
+  ASSERT_EQ(popped.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  Time seen = -1;
+  sim.schedule(milliseconds(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, milliseconds(5));
+  EXPECT_EQ(sim.now(), milliseconds(5));
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  std::vector<Time> times;
+  sim.schedule(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule(10, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Time>{10, 20}));
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int ran = 0;
+  sim.schedule(10, [&] { ++ran; });
+  sim.schedule(100, [&] { ++ran; });
+  const bool more = sim.run_until(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(more);
+  EXPECT_EQ(sim.now(), 50);
+  sim.run_until(200);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulation, StopAbortsRun) {
+  Simulation sim;
+  int ran = 0;
+  sim.schedule(1, [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.schedule(2, [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulation, PastSchedulesClampToNow) {
+  Simulation sim;
+  sim.schedule(100, [&] {
+    sim.schedule_at(5, [&] { EXPECT_EQ(sim.now(), 100); });
+  });
+  sim.run();
+}
+
+TEST(Simulation, CountsExecutedEvents) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+TEST(Timer, FiresOnce) {
+  Simulation sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(milliseconds(1));
+  EXPECT_TRUE(t.pending());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, RescheduleLaterFiresAtNewDeadline) {
+  Simulation sim;
+  Time fired_at = -1;
+  Timer t(sim, [&] { fired_at = sim.now(); });
+  t.schedule(milliseconds(1));
+  sim.schedule(microseconds(500), [&] { t.schedule(milliseconds(2)); });
+  sim.run();
+  EXPECT_EQ(fired_at, microseconds(500) + milliseconds(2));
+}
+
+TEST(Timer, RescheduleEarlierFiresAtNewDeadline) {
+  Simulation sim;
+  Time fired_at = -1;
+  Timer t(sim, [&] { fired_at = sim.now(); });
+  t.schedule(milliseconds(10));
+  sim.schedule(microseconds(100), [&] { t.schedule(microseconds(100)); });
+  sim.run();
+  EXPECT_EQ(fired_at, microseconds(200));
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Simulation sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(milliseconds(1));
+  sim.schedule(microseconds(1), [&] { t.cancel(); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(Timer, CancelThenRescheduleWorks) {
+  Simulation sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.schedule(milliseconds(1));
+  t.cancel();
+  t.schedule(milliseconds(2));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), milliseconds(2));
+}
+
+TEST(Timer, RepeatedRestartsFireOnceAtLastDeadline) {
+  // The TCP RTO pattern: restarted on every ACK, must fire only after the
+  // final deadline.
+  Simulation sim;
+  std::vector<Time> fires;
+  Timer t(sim, [&] { fires.push_back(sim.now()); });
+  t.schedule(milliseconds(1));
+  for (int i = 1; i <= 50; ++i) {
+    sim.schedule(microseconds(i * 10), [&] { t.schedule(milliseconds(1)); });
+  }
+  sim.run();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], microseconds(500) + milliseconds(1));
+}
+
+TEST(Timer, FiringCanReschedule) {
+  Simulation sim;
+  int fires = 0;
+  Timer t(sim, [&] {
+    if (++fires < 3) t.schedule(milliseconds(1));
+  });
+  t.schedule(milliseconds(1));
+  sim.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.now(), milliseconds(3));
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  int counts[10] = {};
+  for (int i = 0; i < 100000; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// Parameterized: the event queue keeps FIFO order at every timestamp for
+// various interleavings.
+class EventQueueFifoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueFifoTest, StableWithinTimestamp) {
+  const int groups = GetParam();
+  EventQueue q;
+  std::vector<std::pair<Time, int>> order;
+  Rng rng(static_cast<std::uint64_t>(groups));
+  std::vector<int> counters(static_cast<std::size_t>(groups), 0);
+  for (int i = 0; i < 500; ++i) {
+    const Time t = static_cast<Time>(rng.below(static_cast<std::uint64_t>(groups)));
+    const int seq = counters[static_cast<std::size_t>(t)]++;
+    q.push(t, [&order, t, seq] { order.emplace_back(t, seq); });
+  }
+  while (!q.empty()) q.pop()();
+  std::vector<int> next(static_cast<std::size_t>(groups), 0);
+  for (const auto& [t, seq] : order) {
+    EXPECT_EQ(seq, next[static_cast<std::size_t>(t)]++);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Interleavings, EventQueueFifoTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace planck::sim

@@ -1,0 +1,465 @@
+// Tests for the switch model: Dynamic Threshold shared-buffer accounting,
+// the rule table, forwarding, port mirroring (including oversubscription
+// drops), counters, and the sFlow control-plane sampler.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+#include "switchsim/shared_buffer.hpp"
+#include "switchsim/switch.hpp"
+
+namespace planck::switchsim {
+namespace {
+
+using net::Packet;
+
+// ---------------------------------------------------------------------------
+// SharedBuffer (Dynamic Threshold)
+// ---------------------------------------------------------------------------
+
+TEST(SharedBuffer, ReservedBytesAlwaysAdmitted) {
+  BufferConfig cfg;
+  cfg.total_bytes = 100'000;
+  cfg.per_port_reserve = 3'000;
+  SharedBuffer buf(cfg, 4);
+  EXPECT_TRUE(buf.admit(0, 3'000));
+  EXPECT_EQ(buf.queue_bytes(0), 3'000);
+  EXPECT_EQ(buf.shared_used(), 0);
+}
+
+TEST(SharedBuffer, SharedUsageTracked) {
+  BufferConfig cfg;
+  cfg.total_bytes = 100'000;
+  cfg.per_port_reserve = 1'000;
+  SharedBuffer buf(cfg, 2);
+  ASSERT_TRUE(buf.admit(0, 5'000));
+  EXPECT_EQ(buf.shared_used(), 4'000);
+  buf.release(0, 5'000);
+  EXPECT_EQ(buf.shared_used(), 0);
+  EXPECT_EQ(buf.queue_bytes(0), 0);
+}
+
+TEST(SharedBuffer, DtLimitsSingleHog) {
+  // With alpha = 0.8 a single congested port converges to
+  // alpha/(1+alpha) of the shared pool: 4/9 of 9 MB ~= 4 MB (§5.1).
+  BufferConfig cfg;  // defaults: 9 MB, alpha 0.8
+  cfg.per_port_reserve = 0;
+  SharedBuffer buf(cfg, 64);
+  std::int64_t admitted = 0;
+  while (buf.admit(5, 1500)) admitted += 1500;
+  const double expected = 0.8 / 1.8 * 9.0 * 1024 * 1024;
+  EXPECT_NEAR(static_cast<double>(admitted), expected, 5'000);
+}
+
+TEST(SharedBuffer, MoreCongestedPortsGetSmallerShares) {
+  // §5.1: latency (queue depth) per port decreases as more ports congest.
+  BufferConfig cfg;
+  cfg.per_port_reserve = 0;
+  std::vector<std::int64_t> depths;
+  for (int ports : {1, 2, 4, 8}) {
+    SharedBuffer buf(cfg, 64);
+    bool any = true;
+    while (any) {
+      any = false;
+      for (int p = 0; p < ports; ++p) any |= buf.admit(p, 1500);
+    }
+    depths.push_back(buf.queue_bytes(0));
+  }
+  for (std::size_t i = 1; i < depths.size(); ++i) {
+    EXPECT_LT(depths[i], depths[i - 1]);
+  }
+}
+
+TEST(SharedBuffer, NeverExceedsPhysicalMemory) {
+  BufferConfig cfg;
+  cfg.total_bytes = 50'000;
+  cfg.per_port_reserve = 1'000;
+  cfg.alpha = 100.0;  // pathological alpha: memory cap must still hold
+  SharedBuffer buf(cfg, 4);
+  std::int64_t total = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (int p = 0; p < 4; ++p) {
+      if (buf.admit(p, 1500)) total += 1500;
+    }
+  }
+  std::int64_t sum = 0;
+  for (int p = 0; p < 4; ++p) sum += buf.queue_bytes(p);
+  EXPECT_EQ(sum, total);
+  EXPECT_LE(buf.shared_used(), buf.shared_total());
+}
+
+TEST(SharedBuffer, PortCapEnforced) {
+  BufferConfig cfg;
+  cfg.total_bytes = 1'000'000;
+  cfg.per_port_reserve = 0;
+  SharedBuffer buf(cfg, 4);
+  buf.set_port_cap(2, 4'500);
+  EXPECT_TRUE(buf.admit(2, 1500));
+  EXPECT_TRUE(buf.admit(2, 1500));
+  EXPECT_TRUE(buf.admit(2, 1500));
+  EXPECT_FALSE(buf.admit(2, 1500));
+  buf.release(2, 1500);
+  EXPECT_TRUE(buf.admit(2, 1500));
+  buf.set_port_cap(2, -1);
+  EXPECT_TRUE(buf.admit(2, 1500));
+}
+
+TEST(SharedBuffer, ReleaseRestoresDtHeadroom) {
+  BufferConfig cfg;
+  cfg.per_port_reserve = 0;
+  SharedBuffer buf(cfg, 64);
+  while (buf.admit(0, 1500)) {
+  }
+  EXPECT_FALSE(buf.admit(0, 1500));
+  // Freeing another port's share frees shared memory and reopens DT.
+  ASSERT_TRUE(buf.admit(1, 1500));
+  buf.release(1, 1500);
+  const std::int64_t before = buf.queue_bytes(0);
+  for (int i = 0; i < 200; ++i) buf.release(0, 1500);
+  EXPECT_TRUE(buf.admit(0, 1500));
+  EXPECT_LT(buf.queue_bytes(0), before);
+}
+
+// ---------------------------------------------------------------------------
+// RuleTable
+// ---------------------------------------------------------------------------
+
+TEST(RuleTable, MacRuleInstallAndErase) {
+  RuleTable t;
+  RuleActions a;
+  a.out_port = 3;
+  t.set_mac_rule(net::host_mac(1), a);
+  ASSERT_NE(t.find_mac(net::host_mac(1)), nullptr);
+  EXPECT_EQ(*t.find_mac(net::host_mac(1))->actions.out_port, 3);
+  EXPECT_TRUE(t.erase_mac_rule(net::host_mac(1)));
+  EXPECT_EQ(t.find_mac(net::host_mac(1)), nullptr);
+  EXPECT_FALSE(t.erase_mac_rule(net::host_mac(1)));
+}
+
+TEST(RuleTable, FlowRuleOverwrite) {
+  RuleTable t;
+  net::FlowKey k{net::host_ip(0), net::host_ip(1), 1, 2,
+                 net::Protocol::kTcp};
+  RuleActions a;
+  a.set_dst_mac = net::host_mac(1, 2);
+  t.set_flow_rule(k, a);
+  a.set_dst_mac = net::host_mac(1, 3);
+  t.set_flow_rule(k, a);
+  EXPECT_EQ(t.flow_rule_count(), 1u);
+  EXPECT_EQ(*t.find_flow(k)->actions.set_dst_mac, net::host_mac(1, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Switch forwarding
+// ---------------------------------------------------------------------------
+
+class Sink : public net::Node {
+ public:
+  void handle_packet(const Packet& packet, int) override {
+    packets.push_back(packet);
+  }
+  std::vector<Packet> packets;
+};
+
+struct Fixture {
+  explicit Fixture(int ports = 4, SwitchConfig cfg = {})
+      : sw(sim, "sw", ports, cfg) {
+    links.reserve(static_cast<std::size_t>(ports));
+    sinks.resize(static_cast<std::size_t>(ports));
+    for (int p = 0; p < ports; ++p) {
+      links.push_back(std::make_unique<net::Link>(sim, 10'000'000'000,
+                                                  sim::microseconds(1)));
+      links.back()->connect(&sinks[static_cast<std::size_t>(p)], 0);
+      sw.attach_link(p, links.back().get());
+    }
+  }
+
+  Packet make_packet(int dst_host, std::int64_t payload = 1460) {
+    Packet p;
+    p.src_mac = net::host_mac(0);
+    p.dst_mac = net::host_mac(dst_host);
+    p.src_ip = net::host_ip(0);
+    p.dst_ip = net::host_ip(dst_host);
+    p.src_port = 1000;
+    p.dst_port = 2000;
+    p.payload = static_cast<std::uint32_t>(payload);
+    return p;
+  }
+
+  sim::Simulation sim;
+  Switch sw;
+  std::vector<std::unique_ptr<net::Link>> links;
+  std::vector<Sink> sinks;
+};
+
+TEST(Switch, ForwardsByMacRule) {
+  Fixture f;
+  RuleActions a;
+  a.out_port = 2;
+  f.sw.rules().set_mac_rule(net::host_mac(9), a);
+  f.sw.handle_packet(f.make_packet(9), 0);
+  f.sim.run();
+  EXPECT_EQ(f.sinks[2].packets.size(), 1u);
+  EXPECT_EQ(f.sw.counters(0).rx_packets, 1u);
+  EXPECT_EQ(f.sw.counters(2).tx_packets, 1u);
+}
+
+TEST(Switch, DropsWithoutRule) {
+  Fixture f;
+  f.sw.handle_packet(f.make_packet(9), 0);
+  f.sim.run();
+  EXPECT_EQ(f.sw.no_route_drops(), 1u);
+  for (const auto& s : f.sinks) EXPECT_TRUE(s.packets.empty());
+}
+
+TEST(Switch, FlowRuleRewritesAndReresolves) {
+  Fixture f;
+  RuleActions base;
+  base.out_port = 1;
+  f.sw.rules().set_mac_rule(net::host_mac(9), base);
+  RuleActions shadow_route;
+  shadow_route.out_port = 3;
+  f.sw.rules().set_mac_rule(net::host_mac(9, 2), shadow_route);
+
+  Packet p = f.make_packet(9);
+  RuleActions reroute;
+  reroute.set_dst_mac = net::host_mac(9, 2);
+  f.sw.rules().set_flow_rule(p.flow_key(), reroute);
+
+  f.sw.handle_packet(p, 0);
+  f.sim.run();
+  EXPECT_TRUE(f.sinks[1].packets.empty());
+  ASSERT_EQ(f.sinks[3].packets.size(), 1u);
+  EXPECT_EQ(f.sinks[3].packets[0].dst_mac, net::host_mac(9, 2));
+}
+
+TEST(Switch, EgressRewriteRestoresBaseMac) {
+  Fixture f;
+  RuleActions a;
+  a.out_port = 1;
+  a.set_dst_mac = net::host_mac(9, 0);
+  f.sw.rules().set_mac_rule(net::host_mac(9, 2), a);
+  Packet p = f.make_packet(9);
+  p.dst_mac = net::host_mac(9, 2);
+  f.sw.handle_packet(p, 0);
+  f.sim.run();
+  ASSERT_EQ(f.sinks[1].packets.size(), 1u);
+  EXPECT_EQ(f.sinks[1].packets[0].dst_mac, net::host_mac(9, 0));
+}
+
+TEST(Switch, RuleCountersAdvance) {
+  Fixture f;
+  RuleActions a;
+  a.out_port = 1;
+  f.sw.rules().set_mac_rule(net::host_mac(9), a);
+  for (int i = 0; i < 5; ++i) f.sw.handle_packet(f.make_packet(9), 0);
+  f.sim.run();
+  const auto* rule = f.sw.rules().find_mac(net::host_mac(9));
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->counters.packets, 5u);
+  EXPECT_EQ(rule->counters.bytes, 5u * 1518);
+}
+
+TEST(Switch, FlowAccountingCountsPayload) {
+  SwitchConfig cfg;
+  cfg.flow_accounting = true;
+  Fixture f(4, cfg);
+  RuleActions a;
+  a.out_port = 1;
+  f.sw.rules().set_mac_rule(net::host_mac(9), a);
+  Packet p = f.make_packet(9, 1000);
+  f.sw.handle_packet(p, 0);
+  f.sw.handle_packet(p, 0);
+  f.sim.run();
+  const auto it = f.sw.flow_counters().find(p.flow_key());
+  ASSERT_NE(it, f.sw.flow_counters().end());
+  EXPECT_EQ(it->second.packets, 2u);
+  EXPECT_EQ(it->second.bytes, 2000u);
+}
+
+TEST(Switch, MirrorReplicatesToMonitorPort) {
+  Fixture f;
+  RuleActions a;
+  a.out_port = 1;
+  f.sw.rules().set_mac_rule(net::host_mac(9), a);
+  f.sw.set_mirroring(3);
+  f.sw.handle_packet(f.make_packet(9), 0);
+  f.sim.run();
+  EXPECT_EQ(f.sinks[1].packets.size(), 1u);
+  ASSERT_EQ(f.sinks[3].packets.size(), 1u);
+  EXPECT_EQ(f.sw.mirror_sent(), 1u);
+  // Oracle metadata rides on the replica for validation.
+  EXPECT_EQ(f.sinks[3].packets[0].oracle_in_port, 0);
+  EXPECT_EQ(f.sinks[3].packets[0].oracle_out_port, 1);
+}
+
+TEST(Switch, MirrorReplicaKeepsRoutingMacBeforeEgressRewrite) {
+  Fixture f;
+  RuleActions a;
+  a.out_port = 1;
+  a.set_dst_mac = net::host_mac(9, 0);  // egress rewrite
+  f.sw.rules().set_mac_rule(net::host_mac(9, 2), a);
+  f.sw.set_mirroring(3);
+  Packet p = f.make_packet(9);
+  p.dst_mac = net::host_mac(9, 2);
+  f.sw.handle_packet(p, 0);
+  f.sim.run();
+  ASSERT_EQ(f.sinks[3].packets.size(), 1u);
+  // The replica carries the shadow MAC (the key for path inference).
+  EXPECT_EQ(f.sinks[3].packets[0].dst_mac, net::host_mac(9, 2));
+  ASSERT_EQ(f.sinks[1].packets.size(), 1u);
+  EXPECT_EQ(f.sinks[1].packets[0].dst_mac, net::host_mac(9, 0));
+}
+
+TEST(Switch, MonitorPortTrafficIsNotReMirrored) {
+  Fixture f;
+  RuleActions a;
+  a.out_port = 3;
+  f.sw.rules().set_mac_rule(net::host_mac(9), a);
+  f.sw.set_mirroring(3);
+  f.sw.handle_packet(f.make_packet(9), 0);
+  f.sim.run();
+  // Routed to the monitor port itself: exactly one copy.
+  EXPECT_EQ(f.sinks[3].packets.size(), 1u);
+  EXPECT_EQ(f.sw.mirror_sent(), 0u);
+}
+
+TEST(Switch, OversubscribedMirrorDropsReplicasNotOriginals) {
+  SwitchConfig cfg;
+  cfg.monitor_port_cap = 8 * 1518;  // tiny monitor buffer
+  Fixture f(4, cfg);
+  RuleActions to1;
+  to1.out_port = 1;
+  f.sw.rules().set_mac_rule(net::host_mac(1), to1);
+  RuleActions to2;
+  to2.out_port = 2;
+  f.sw.rules().set_mac_rule(net::host_mac(2), to2);
+  f.sw.set_mirroring(3);
+
+  // Two saturated input streams (ports 1 and 2 outputs) at the same time:
+  // the monitor port sees 2x line rate and must drop about half.
+  for (int i = 0; i < 200; ++i) {
+    f.sw.handle_packet(f.make_packet(1), 0);
+    f.sw.handle_packet(f.make_packet(2), 0);
+    f.sim.run_until((i + 1) * 1231);
+  }
+  f.sim.run();
+  EXPECT_EQ(f.sinks[1].packets.size(), 200u);
+  EXPECT_EQ(f.sinks[2].packets.size(), 200u);
+  EXPECT_GT(f.sw.mirror_drops(), 100u);
+  EXPECT_EQ(f.sw.counters(1).drops, 0u);
+  EXPECT_EQ(f.sw.counters(2).drops, 0u);
+  // Samples that did get through are a mix of both flows.
+  int flow1 = 0;
+  for (const auto& p : f.sinks[3].packets) {
+    if (p.dst_mac == net::host_mac(1)) ++flow1;
+  }
+  EXPECT_GT(flow1, 50);
+  EXPECT_LT(flow1, 350);
+}
+
+TEST(Switch, TailDropWhenOutputCongests) {
+  SwitchConfig cfg;
+  cfg.buffer.total_bytes = 30 * 1518;
+  cfg.buffer.per_port_reserve = 0;
+  Fixture f(4, cfg);
+  RuleActions a;
+  a.out_port = 1;
+  f.sw.rules().set_mac_rule(net::host_mac(9), a);
+  for (int i = 0; i < 100; ++i) f.sw.handle_packet(f.make_packet(9), 0);
+  EXPECT_GT(f.sw.counters(1).drops, 50u);
+  f.sim.run();
+  EXPECT_LT(f.sinks[1].packets.size(), 50u);
+  EXPECT_EQ(f.sinks[1].packets.size() + f.sw.counters(1).drops, 100u);
+}
+
+TEST(Switch, InjectBypassesRules) {
+  Fixture f;
+  Packet p = f.make_packet(9);
+  f.sw.inject(p, 2);
+  f.sim.run();
+  EXPECT_EQ(f.sinks[2].packets.size(), 1u);
+  EXPECT_EQ(f.sw.no_route_drops(), 0u);
+}
+
+TEST(Switch, SFlowSamplesOneInN) {
+  SwitchConfig cfg;
+  cfg.sflow_one_in_n = 10;
+  cfg.sflow_max_samples_per_sec = 1e9;  // no CPU limit for this test
+  cfg.sflow_control_delay = sim::microseconds(100);
+  Fixture f(4, cfg);
+  RuleActions a;
+  a.out_port = 1;
+  f.sw.rules().set_mac_rule(net::host_mac(9), a);
+  int samples = 0;
+  f.sw.set_sflow_handler(
+      [&](const Packet&, int in, int out, std::uint32_t rate) {
+        ++samples;
+        EXPECT_EQ(in, 0);
+        EXPECT_EQ(out, 1);
+        EXPECT_EQ(rate, 10u);
+      });
+  for (int i = 0; i < 100; ++i) {
+    f.sw.handle_packet(f.make_packet(9), 0);
+    f.sim.run_until((i + 1) * 1231);
+  }
+  f.sim.run();
+  EXPECT_EQ(samples, 10);
+}
+
+TEST(Switch, SFlowRateLimitedByControlPlane) {
+  // The G8264's control path maxes out around 300 samples/s (§2.1); with a
+  // huge offered load the sampler must not exceed the token rate.
+  SwitchConfig cfg;
+  cfg.sflow_one_in_n = 1;
+  cfg.sflow_max_samples_per_sec = 300;
+  Fixture f(4, cfg);
+  RuleActions a;
+  a.out_port = 1;
+  f.sw.rules().set_mac_rule(net::host_mac(9), a);
+  int samples = 0;
+  f.sw.set_sflow_handler(
+      [&](const Packet&, int, int, std::uint32_t) { ++samples; });
+  // 0.1 s of line-rate traffic ~= 81k packets; expect <= ~30 samples + burst.
+  for (int i = 0; i < 81000; ++i) {
+    f.sw.handle_packet(f.make_packet(9), 0);
+    f.sim.run_until((i + 1) * 1231);
+  }
+  f.sim.run();
+  EXPECT_LE(samples, 45);
+  EXPECT_GE(samples, 20);
+}
+
+// Parameterized DT property: for any number of hog ports, the sum of queue
+// bytes never exceeds the configured memory.
+class DtInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DtInvariantTest, TotalNeverExceedsMemory) {
+  BufferConfig cfg;
+  cfg.total_bytes = 2'000'000;
+  cfg.per_port_reserve = 3'036;
+  const int hogs = GetParam();
+  SharedBuffer buf(cfg, 16);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int p = 0; p < hogs; ++p) any |= buf.admit(p, 1500);
+  }
+  std::int64_t sum = 0;
+  for (int p = 0; p < 16; ++p) sum += buf.queue_bytes(p);
+  EXPECT_LE(sum, cfg.total_bytes);
+  // And the hogs share roughly equally.
+  for (int p = 1; p < hogs; ++p) {
+    EXPECT_NEAR(static_cast<double>(buf.queue_bytes(p)),
+                static_cast<double>(buf.queue_bytes(0)), 2 * 1500.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HogCounts, DtInvariantTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace planck::switchsim
