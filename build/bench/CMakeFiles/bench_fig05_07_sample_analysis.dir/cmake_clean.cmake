@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_07_sample_analysis.dir/bench_fig05_07_sample_analysis.cpp.o"
+  "CMakeFiles/bench_fig05_07_sample_analysis.dir/bench_fig05_07_sample_analysis.cpp.o.d"
+  "bench_fig05_07_sample_analysis"
+  "bench_fig05_07_sample_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_07_sample_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_sample_latency_cdf.
+# This may be replaced when dependencies are built.

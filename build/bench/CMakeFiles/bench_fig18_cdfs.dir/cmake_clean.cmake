@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_cdfs.dir/bench_fig18_cdfs.cpp.o"
+  "CMakeFiles/bench_fig18_cdfs.dir/bench_fig18_cdfs.cpp.o.d"
+  "bench_fig18_cdfs"
+  "bench_fig18_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

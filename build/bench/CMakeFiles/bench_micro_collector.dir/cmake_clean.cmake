@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_collector.dir/bench_micro_collector.cpp.o"
+  "CMakeFiles/bench_micro_collector.dir/bench_micro_collector.cpp.o.d"
+  "bench_micro_collector"
+  "bench_micro_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

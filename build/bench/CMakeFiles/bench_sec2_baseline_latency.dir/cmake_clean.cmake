@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec2_baseline_latency.dir/bench_sec2_baseline_latency.cpp.o"
+  "CMakeFiles/bench_sec2_baseline_latency.dir/bench_sec2_baseline_latency.cpp.o.d"
+  "bench_sec2_baseline_latency"
+  "bench_sec2_baseline_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_baseline_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

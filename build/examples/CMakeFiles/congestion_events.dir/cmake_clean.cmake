@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_events.dir/congestion_events.cpp.o"
+  "CMakeFiles/congestion_events.dir/congestion_events.cpp.o.d"
+  "congestion_events"
+  "congestion_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

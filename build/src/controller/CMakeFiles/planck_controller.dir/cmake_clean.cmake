@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_controller.dir/controller.cpp.o"
+  "CMakeFiles/planck_controller.dir/controller.cpp.o.d"
+  "CMakeFiles/planck_controller.dir/routing.cpp.o"
+  "CMakeFiles/planck_controller.dir/routing.cpp.o.d"
+  "libplanck_controller.a"
+  "libplanck_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collector.cpp" "src/core/CMakeFiles/planck_core.dir/collector.cpp.o" "gcc" "src/core/CMakeFiles/planck_core.dir/collector.cpp.o.d"
+  "/root/repo/src/core/rate_estimator.cpp" "src/core/CMakeFiles/planck_core.dir/rate_estimator.cpp.o" "gcc" "src/core/CMakeFiles/planck_core.dir/rate_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/planck_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/planck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_core.dir/collector.cpp.o"
+  "CMakeFiles/planck_core.dir/collector.cpp.o.d"
+  "CMakeFiles/planck_core.dir/rate_estimator.cpp.o"
+  "CMakeFiles/planck_core.dir/rate_estimator.cpp.o.d"
+  "libplanck_core.a"
+  "libplanck_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

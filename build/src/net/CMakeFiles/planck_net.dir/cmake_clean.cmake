@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_net.dir/addresses.cpp.o"
+  "CMakeFiles/planck_net.dir/addresses.cpp.o.d"
+  "CMakeFiles/planck_net.dir/topology.cpp.o"
+  "CMakeFiles/planck_net.dir/topology.cpp.o.d"
+  "libplanck_net.a"
+  "libplanck_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

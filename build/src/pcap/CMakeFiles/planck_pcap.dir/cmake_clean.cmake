@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_pcap.dir/pcap_writer.cpp.o"
+  "CMakeFiles/planck_pcap.dir/pcap_writer.cpp.o.d"
+  "libplanck_pcap.a"
+  "libplanck_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplanck_pcap.a"
+)

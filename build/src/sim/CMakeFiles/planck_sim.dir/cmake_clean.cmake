@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/planck_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/planck_sim.dir/simulation.cpp.o"
+  "CMakeFiles/planck_sim.dir/simulation.cpp.o.d"
+  "libplanck_sim.a"
+  "libplanck_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_stats.dir/table.cpp.o"
+  "CMakeFiles/planck_stats.dir/table.cpp.o.d"
+  "libplanck_stats.a"
+  "libplanck_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_switchsim.dir/switch.cpp.o"
+  "CMakeFiles/planck_switchsim.dir/switch.cpp.o.d"
+  "libplanck_switchsim.a"
+  "libplanck_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_tcp.dir/host.cpp.o"
+  "CMakeFiles/planck_tcp.dir/host.cpp.o.d"
+  "CMakeFiles/planck_tcp.dir/tcp_connection.cpp.o"
+  "CMakeFiles/planck_tcp.dir/tcp_connection.cpp.o.d"
+  "libplanck_tcp.a"
+  "libplanck_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_te.dir/planck_te.cpp.o"
+  "CMakeFiles/planck_te.dir/planck_te.cpp.o.d"
+  "CMakeFiles/planck_te.dir/poll_te.cpp.o"
+  "CMakeFiles/planck_te.dir/poll_te.cpp.o.d"
+  "libplanck_te.a"
+  "libplanck_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planck_workload.dir/experiment.cpp.o"
+  "CMakeFiles/planck_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/planck_workload.dir/testbed.cpp.o"
+  "CMakeFiles/planck_workload.dir/testbed.cpp.o.d"
+  "CMakeFiles/planck_workload.dir/workloads.cpp.o"
+  "CMakeFiles/planck_workload.dir/workloads.cpp.o.d"
+  "libplanck_workload.a"
+  "libplanck_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planck_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cubic.dir/test_cubic.cpp.o"
+  "CMakeFiles/test_cubic.dir/test_cubic.cpp.o.d"
+  "test_cubic"
+  "test_cubic.pdb"
+  "test_cubic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cubic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

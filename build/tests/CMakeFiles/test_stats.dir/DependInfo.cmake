@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/test_stats.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/planck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/planck_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/planck_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/planck_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/planck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/planck_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/planck_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/planck_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/planck_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/planck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
