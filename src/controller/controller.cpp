@@ -1,6 +1,10 @@
 #include "controller/controller.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 namespace planck::controller {
 
@@ -11,7 +15,9 @@ Controller::Controller(sim::Simulation& simulation,
       graph_(graph),
       config_(config),
       routing_(graph),
-      rng_(config.seed) {
+      rng_(config.seed),
+      channel_(simulation, config.channel),
+      heartbeat_timer_(simulation, [this] { probe_switches(); }) {
   hosts_.resize(static_cast<std::size_t>(graph.num_hosts()), nullptr);
 }
 
@@ -35,6 +41,18 @@ void Controller::install_routes() {
   install_host_arp();
   for (auto& [node, att] : switches_) {
     if (att.monitor_port >= 0) att.sw->set_mirroring(att.monitor_port);
+  }
+
+  // Reproducible iteration orders for the failure plane.
+  sorted_switch_nodes_.clear();
+  for (const auto& [node, att] : switches_) sorted_switch_nodes_.push_back(node);
+  std::sort(sorted_switch_nodes_.begin(), sorted_switch_nodes_.end());
+  sorted_collector_nodes_.clear();
+  for (const auto& [node, c] : collectors_) sorted_collector_nodes_.push_back(node);
+  std::sort(sorted_collector_nodes_.begin(), sorted_collector_nodes_.end());
+
+  if (config_.heartbeat_interval > 0 && !switches_.empty()) {
+    heartbeat_timer_.schedule(config_.heartbeat_interval);
   }
 }
 
@@ -125,7 +143,9 @@ void Controller::reroute_flow(const net::FlowKey& key, int tree,
   if (mechanism == RerouteMechanism::kArp) {
     ++arp_reroutes_;
     // Packet-out of a spoofed unicast ARP request via the ingress switch:
-    // "from" the destination IP, advertising the shadow MAC (§6.2).
+    // "from" the destination IP, advertising the shadow MAC (§6.2). The
+    // packet-out RPC rides the lossy channel and is retried until the
+    // switch acknowledges it; duplicates just re-advertise the same MAC.
     net::Packet arp;
     arp.proto = net::Protocol::kArp;
     arp.arp_op = net::ArpOp::kRequest;
@@ -135,10 +155,18 @@ void Controller::reroute_flow(const net::FlowKey& key, int tree,
     arp.src_mac = net::host_mac(dst_host, tree);
     arp.dst_mac = net::host_mac(src_host, 0);
     const int host_port = ingress_in_port;
-    sim_.schedule(config_.control_latency + config_.packet_out_delay,
-                  [ingress, arp, host_port] {
-                    ingress->inject(arp, host_port);
-                  });
+    const sim::Duration packet_out_delay = config_.packet_out_delay;
+    channel_.call(
+        [this, ingress, arp, host_port, packet_out_delay] {
+          if (!ingress->online()) return false;
+          sim_.schedule(packet_out_delay, [ingress, arp, host_port] {
+            ingress->inject(arp, host_port);
+          });
+          return true;
+        },
+        [this](bool ok) {
+          if (!ok) ++failed_reroutes_;
+        });
   } else {
     ++openflow_reroutes_;
     // Flow-mod: rewrite the destination MAC at the ingress switch, then
@@ -153,9 +181,139 @@ void Controller::reroute_flow(const net::FlowKey& key, int tree,
     switchsim::RuleActions actions;
     actions.set_dst_mac = net::host_mac(dst_host, tree);
     const net::FlowKey k = key;
-    sim_.schedule(config_.control_latency + install, [ingress, k, actions] {
-      ingress->rules().set_flow_rule(k, actions);
+    channel_.call(
+        [this, ingress, k, actions, install] {
+          if (!ingress->online()) return false;
+          sim_.schedule(install, [ingress, k, actions] {
+            ingress->rules().set_flow_rule(k, actions);
+          });
+          return true;
+        },
+        [this](bool ok) {
+          if (!ok) ++failed_reroutes_;
+        });
+  }
+}
+
+void Controller::notify_port_status(int switch_node, int port, bool up) {
+  // The switch's loss-of-signal interrupt becomes a reliable RPC to the
+  // controller: retried on loss, bounded by the attempt ceiling.
+  channel_.call([this, switch_node, port, up] {
+    handle_port_status(switch_node, port, up);
+    return true;
+  });
+}
+
+void Controller::handle_port_status(int switch_node, int port, bool up) {
+  const net::DirectedLink link{switch_node, port};
+  const bool changed = up ? down_links_.erase(link) > 0
+                          : down_links_.insert(link).second;
+  if (!changed) return;  // duplicate delivery of an at-least-once RPC
+  for (const auto& handler : link_status_handlers_) {
+    handler(switch_node, port, up);
+  }
+  if (!up) failover_dead_paths();
+}
+
+bool Controller::link_up(int node, int port) const {
+  if (down_links_.find(net::DirectedLink{node, port}) != down_links_.end()) {
+    return false;
+  }
+  return switch_alive(node);
+}
+
+bool Controller::path_alive(const net::RoutePath& path) const {
+  for (const net::PathHop& hop : path.hops) {
+    if (!switch_alive(hop.switch_node)) return false;
+    if (down_links_.find(net::DirectedLink{hop.switch_node, hop.out_port}) !=
+        down_links_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Controller::first_alive_tree(int src_host, int dst_host) const {
+  for (int tree = 0; tree < routing_.num_trees(); ++tree) {
+    if (path_alive(routing_.path(src_host, dst_host, tree))) return tree;
+  }
+  return -1;
+}
+
+void Controller::probe_switches() {
+  for (int node : sorted_switch_nodes_) {
+    switchsim::Switch* sw = switches_.at(node).sw;
+    channel_.call([sw] { return sw->online(); }, [this, node](bool alive) {
+      if (alive) {
+        mark_switch_alive(node);
+      } else {
+        mark_switch_dead(node);
+      }
     });
+  }
+  heartbeat_timer_.schedule(config_.heartbeat_interval);
+}
+
+void Controller::mark_switch_dead(int node) {
+  if (!dead_switches_.insert(node).second) return;
+  for (const auto& handler : switch_status_handlers_) handler(node, false);
+  // Every link the dead switch feeds is effectively down for routing.
+  for (int port = 0; port < graph_.num_ports(node); ++port) {
+    if (!graph_.wired(node, port)) continue;
+    for (const auto& handler : link_status_handlers_) {
+      handler(node, port, false);
+    }
+  }
+  failover_dead_paths();
+}
+
+void Controller::mark_switch_alive(int node) {
+  if (dead_switches_.erase(node) == 0) return;
+  for (const auto& handler : switch_status_handlers_) handler(node, true);
+  for (int port = 0; port < graph_.num_ports(node); ++port) {
+    if (!graph_.wired(node, port)) continue;
+    if (down_links_.find(net::DirectedLink{node, port}) != down_links_.end()) {
+      continue;  // still admin-down from a port-status report
+    }
+    for (const auto& handler : link_status_handlers_) {
+      handler(node, port, true);
+    }
+  }
+}
+
+void Controller::failover_dead_paths() {
+  // Candidate flows: everything with an explicit assignment plus whatever
+  // the (online) monitoring plane currently sees. Flows only the dead
+  // equipment's own collector knew about stay stuck until restore — the
+  // monitoring plane shares fate with the network, as in the paper.
+  std::unordered_map<net::FlowKey, int, net::FlowKeyHash> candidates;
+  for (const auto& [key, tree] : tree_assignment_) candidates.emplace(key, tree);
+  for (int node : sorted_collector_nodes_) {
+    const core::Collector* collector = collectors_.at(node);
+    if (!collector->online()) continue;
+    for (const auto& [key, rec] : collector->flow_table().flows()) {
+      candidates.emplace(key, tree_of(key));
+    }
+  }
+  // Deterministic processing order (candidates is an unordered_map).
+  std::vector<std::pair<net::FlowKey, int>> ordered(candidates.begin(),
+                                                    candidates.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(a.first.src_ip, a.first.dst_ip,
+                              a.first.src_port, a.first.dst_port) <
+                     std::tie(b.first.src_ip, b.first.dst_ip,
+                              b.first.src_port, b.first.dst_port);
+            });
+  for (const auto& [key, tree] : ordered) {
+    const int src = net::host_id_of_ip(key.src_ip);
+    const int dst = net::host_id_of_ip(key.dst_ip);
+    if (src < 0 || dst < 0 || src == dst) continue;
+    if (path_alive(routing_.path(src, dst, tree))) continue;
+    const int alternate = first_alive_tree(src, dst);
+    if (alternate < 0 || alternate == tree) continue;
+    ++failovers_;
+    reroute_flow(key, alternate, config_.failover_mechanism);
   }
 }
 
@@ -166,7 +324,7 @@ void Controller::subscribe_congestion(CongestionHandler handler) {
     // control-channel latency.
     for (auto& [node, collector] : collectors_) {
       collector->subscribe_congestion([this](const core::CongestionEvent& e) {
-        sim_.schedule(config_.control_latency, [this, e] {
+        channel_.send([this, e] {
           for (const auto& h : congestion_handlers_) h(e);
         });
       });
@@ -179,10 +337,10 @@ void Controller::query_link_utilization(int switch_node, int out_port,
   const auto it = collectors_.find(switch_node);
   if (it == collectors_.end()) return;
   core::Collector* collector = it->second;
-  sim_.schedule(config_.control_latency, [this, collector, out_port,
-                                          reply = std::move(reply)] {
+  channel_.send([this, collector, out_port, reply = std::move(reply)] {
+    if (!collector->online()) return;  // a dead process never answers
     const double util = collector->link_utilization_bps(out_port);
-    sim_.schedule(config_.control_latency, [reply, util] { reply(util); });
+    channel_.send([reply, util] { reply(util); });
   });
 }
 

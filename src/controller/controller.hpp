@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "controller/control_channel.hpp"
 #include "controller/routing.hpp"
 #include "core/collector.hpp"
 #include "net/packet.hpp"
@@ -12,6 +14,7 @@
 #include "net/topology.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
+#include "sim/timer.hpp"
 #include "switchsim/switch.hpp"
 #include "tcp/host.hpp"
 
@@ -28,9 +31,10 @@ enum class RerouteMechanism {
 };
 
 struct ControllerConfig {
-  /// One-way latency of a control-channel message (controller <-> switch
-  /// or collector): an RPC on the management network.
-  sim::Duration control_latency = sim::microseconds(150);
+  /// The management network every controller <-> switch/collector message
+  /// crosses: a 150 us one-way RPC by default, with loss/duplication/
+  /// latency-spike knobs and the retry/backoff policy for reliable calls.
+  ControlChannelConfig channel;
   /// TCAM rule-install latency range on the switch control plane; the
   /// dominant cost of OpenFlow-based rerouting (Figure 16: 4-9 ms
   /// responses, median over 7 ms).
@@ -39,6 +43,14 @@ struct ControllerConfig {
   /// Latency of an OpenFlow packet-out traversing the switch control-plane
   /// CPU before the frame enters the data plane (the ARP reroute path).
   sim::Duration packet_out_delay = sim::milliseconds(1);
+  /// Period of the health monitor that RPC-probes every switch. A switch
+  /// whose probe exhausts its retry budget is declared dead and its flows
+  /// failed over (counter-staleness detection: a wedged switch sends no
+  /// port-status, so liveness must be inferred). 0 disables probing.
+  sim::Duration heartbeat_interval = sim::milliseconds(10);
+  /// Mechanism used when failing flows over dead links/switches. ARP is
+  /// the paper's fast path and the right default for repair.
+  RerouteMechanism failover_mechanism = RerouteMechanism::kArp;
   std::uint64_t seed = 1;
 };
 
@@ -50,6 +62,12 @@ class Controller {
  public:
   using CongestionHandler =
       std::function<void(const core::CongestionEvent&)>;
+  /// Fired when the controller's view of a link changes: (switch node,
+  /// out port, up). Both directions of a dead cable are reported, each
+  /// from its transmitting switch's perspective.
+  using LinkStatusHandler = std::function<void(int node, int port, bool up)>;
+  /// Fired when the health monitor declares a switch dead or alive again.
+  using SwitchStatusHandler = std::function<void(int node, bool alive)>;
 
   Controller(sim::Simulation& simulation, const net::TopologyGraph& graph,
              const ControllerConfig& config);
@@ -94,6 +112,43 @@ class Controller {
   std::uint64_t arp_reroutes() const { return arp_reroutes_; }
   std::uint64_t openflow_reroutes() const { return openflow_reroutes_; }
 
+  // --- failure plane ----------------------------------------------------
+  /// Entry point for a switch's loss-of-signal notification. Models the
+  /// switch -> controller port-status RPC over the lossy channel (with
+  /// retries), then updates the link view and fails affected flows over.
+  void notify_port_status(int switch_node, int port, bool up);
+
+  /// The controller's current belief about the link transmitting from
+  /// (node, port): false once a port-status reported it down or either
+  /// endpoint switch is believed dead.
+  bool link_up(int node, int port) const;
+  bool switch_alive(int node) const {
+    return dead_switches_.find(node) == dead_switches_.end();
+  }
+  /// True when every hop of `path` crosses believed-alive equipment.
+  bool path_alive(const net::RoutePath& path) const;
+  /// Lowest-numbered tree with a live path from src to dst, or -1 when
+  /// every pre-installed alternative is dead.
+  int first_alive_tree(int src_host, int dst_host) const;
+
+  void subscribe_link_status(LinkStatusHandler handler) {
+    link_status_handlers_.push_back(std::move(handler));
+  }
+  void subscribe_switch_status(SwitchStatusHandler handler) {
+    switch_status_handlers_.push_back(std::move(handler));
+  }
+
+  ControlChannel& channel() { return channel_; }
+  const ControlChannel& channel() const { return channel_; }
+
+  /// Flows moved off dead equipment by the controller itself.
+  std::uint64_t failovers() const { return failovers_; }
+  /// Reroute RPCs that exhausted their retry budget (target switch dead).
+  std::uint64_t failed_reroutes() const { return failed_reroutes_; }
+  const std::unordered_set<int>& dead_switches() const {
+    return dead_switches_;
+  }
+
  private:
   struct SwitchAttachment {
     switchsim::Switch* sw = nullptr;
@@ -104,21 +159,45 @@ class Controller {
   void push_route_views();
   void install_host_arp();
 
+  /// Applies a port-status message after it survived the channel. Duplicate
+  /// deliveries (at-least-once RPC) are idempotent.
+  void handle_port_status(int switch_node, int port, bool up);
+  void probe_switches();
+  void mark_switch_dead(int node);
+  void mark_switch_alive(int node);
+  /// Scans every flow the control plane knows about (assignments plus the
+  /// online collectors' flow tables) and moves those whose current path
+  /// crosses dead equipment onto the first surviving tree.
+  void failover_dead_paths();
+
   sim::Simulation& sim_;
   const net::TopologyGraph& graph_;
   ControllerConfig config_;
   Routing routing_;
   sim::Rng rng_;
+  ControlChannel channel_;
 
   std::unordered_map<int, SwitchAttachment> switches_;   // by graph node
   std::unordered_map<int, core::Collector*> collectors_;  // by graph node
   std::vector<tcp::Host*> hosts_;                          // by host index
+  /// switches_ / collectors_ keys in ascending node order, for iteration
+  /// that must be reproducible across runs.
+  std::vector<int> sorted_switch_nodes_;
+  std::vector<int> sorted_collector_nodes_;
 
   std::unordered_map<net::FlowKey, int, net::FlowKeyHash> tree_assignment_;
   std::vector<CongestionHandler> congestion_handlers_;
+  std::vector<LinkStatusHandler> link_status_handlers_;
+  std::vector<SwitchStatusHandler> switch_status_handlers_;
+
+  std::unordered_set<net::DirectedLink, net::DirectedLinkHash> down_links_;
+  std::unordered_set<int> dead_switches_;
+  sim::Timer heartbeat_timer_;
 
   std::uint64_t arp_reroutes_ = 0;
   std::uint64_t openflow_reroutes_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t failed_reroutes_ = 0;
 };
 
 }  // namespace planck::controller

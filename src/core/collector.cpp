@@ -16,8 +16,26 @@ Collector::Collector(sim::Simulation& simulation, std::string name,
   sweep_timer_.schedule(config_.sweep_interval);
 }
 
+void Collector::set_online(bool online) {
+  if (online_ == online) return;
+  online_ = online;
+  if (!online) {
+    ++outages_;
+    sweep_timer_.cancel();  // the process is dead; housekeeping stops too
+  } else {
+    // Restart: purge everything that went stale during the outage before
+    // answering queries again, then resume the periodic sweep.
+    sweep();
+  }
+}
+
 void Collector::handle_packet(const net::Packet& packet, int /*in_port*/) {
+  if (!online_) {
+    ++samples_dropped_offline_;
+    return;
+  }
   ++samples_received_;
+  last_sample_at_ = sim_.now();
 
   if (ring_.size() >= config_.sample_ring_capacity) ring_.pop_front();
   ring_.push_back(Sample{sim_.now(), packet});
@@ -58,12 +76,14 @@ void Collector::handle_packet(const net::Packet& packet, int /*in_port*/) {
 }
 
 double Collector::link_utilization_bps(int out_port) const {
+  if (!online_) return 0.0;
   const auto it = util_bps_.find(out_port);
   return it == util_bps_.end() ? 0.0 : std::max(0.0, it->second);
 }
 
 std::vector<FlowRate> Collector::flows_on_link(int out_port) const {
   std::vector<FlowRate> out;
+  if (!online_) return out;
   for (const auto& [key, rec] : flows_.flows()) {
     if (rec.out_port != out_port || rec.contributing_bps <= 0.0) continue;
     out.push_back(FlowRate{key, rec.src_mac, rec.dst_mac, rec.rate_bps()});

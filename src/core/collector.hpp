@@ -95,11 +95,32 @@ class Collector : public net::Node {
 
   // --- queries (§4.2) -----------------------------------------------------
   /// (i) Estimated utilization of the link on `out_port`, bits per second.
+  /// Returns 0 while the collector is offline — a dead process answers
+  /// nothing rather than serving frozen numbers.
   double link_utilization_bps(int out_port) const;
-  /// (ii) Rate estimates of flows currently crossing `out_port`.
+  /// (ii) Rate estimates of flows currently crossing `out_port` (empty
+  /// while offline).
   std::vector<FlowRate> flows_on_link(int out_port) const;
   /// (iii) The most recent raw samples (newest last).
   const std::deque<Sample>& raw_samples() const { return ring_; }
+
+  // --- failure plane ------------------------------------------------------
+  /// Collector process crash/restore. Offline, arriving samples are lost
+  /// (counted), the housekeeping sweep stops, and queries return nothing.
+  /// On restore the sweep runs immediately, purging every estimate that
+  /// went stale during the outage, so utilization restarts from fresh
+  /// samples instead of pre-outage numbers.
+  void set_online(bool online);
+  bool online() const { return online_; }
+  /// True when the estimates cannot be trusted: the collector is offline,
+  /// or it is up but the sample stream has gone quiet for longer than
+  /// `rate_staleness` (e.g. the monitor cable died) while flows may still
+  /// be running.
+  bool data_stale() const {
+    return !online_ ||
+           sim_.now() - last_sample_at_ > config_.rate_staleness;
+  }
+  sim::Time last_sample_at() const { return last_sample_at_; }
 
   const FlowTable& flow_table() const { return flows_; }
 
@@ -113,6 +134,10 @@ class Collector : public net::Node {
   std::uint64_t samples_received() const { return samples_received_; }
   std::uint64_t events_fired() const { return events_fired_; }
   std::uint64_t inference_misses() const { return inference_misses_; }
+  std::uint64_t samples_dropped_offline() const {
+    return samples_dropped_offline_;
+  }
+  std::uint64_t outages() const { return outages_; }
 
   const CollectorConfig& config() const { return config_; }
 
@@ -142,6 +167,10 @@ class Collector : public net::Node {
   std::uint64_t samples_received_ = 0;
   std::uint64_t events_fired_ = 0;
   std::uint64_t inference_misses_ = 0;
+  std::uint64_t samples_dropped_offline_ = 0;
+  std::uint64_t outages_ = 0;
+  bool online_ = true;
+  sim::Time last_sample_at_ = 0;
 
   sim::Timer sweep_timer_;
 };

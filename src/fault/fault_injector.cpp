@@ -1,0 +1,169 @@
+#include "fault/fault_injector.hpp"
+
+#include <cassert>
+
+namespace planck::fault {
+
+FaultInjector::FaultInjector(sim::Simulation& simulation,
+                             workload::Testbed& testbed, std::uint64_t seed)
+    : sim_(simulation), testbed_(testbed), rng_(seed) {}
+
+net::DirectedLink FaultInjector::cable_id(int node, int port) const {
+  const net::PortRef peer = testbed_.graph().peer(node, port);
+  if (!peer.valid() || node <= peer.node) return net::DirectedLink{node, port};
+  return net::DirectedLink{peer.node, peer.port};
+}
+
+void FaultInjector::record(FaultKind kind, int node, int port) {
+  history_.push_back(FaultRecord{sim_.now(), kind, node, port});
+}
+
+void FaultInjector::fail_link(int node, int port) {
+  if (++link_depth_[cable_id(node, port)] != 1) return;  // already down
+  testbed_.set_link_state(node, port, false);
+  record(FaultKind::kLinkDown, node, port);
+}
+
+void FaultInjector::restore_link(int node, int port) {
+  int& depth = link_depth_[cable_id(node, port)];
+  assert(depth > 0);
+  if (--depth != 0) return;  // another outage still holds it
+  testbed_.set_link_state(node, port, true);
+  record(FaultKind::kLinkUp, node, port);
+}
+
+void FaultInjector::crash_switch(int node) {
+  if (++switch_depth_[node] != 1) return;
+  testbed_.set_switch_online(node, false);
+  record(FaultKind::kSwitchCrash, node, -1);
+}
+
+void FaultInjector::restore_switch(int node) {
+  int& depth = switch_depth_[node];
+  assert(depth > 0);
+  if (--depth != 0) return;
+  testbed_.set_switch_online(node, true);
+  record(FaultKind::kSwitchRestore, node, -1);
+}
+
+void FaultInjector::crash_collector(int node) {
+  if (++collector_depth_[node] != 1) return;
+  testbed_.set_collector_online(node, false);
+  record(FaultKind::kCollectorCrash, node, -1);
+}
+
+void FaultInjector::restore_collector(int node) {
+  int& depth = collector_depth_[node];
+  assert(depth > 0);
+  if (--depth != 0) return;
+  testbed_.set_collector_online(node, true);
+  record(FaultKind::kCollectorRestore, node, -1);
+}
+
+void FaultInjector::schedule_link_outage(sim::Time at, sim::Duration duration,
+                                         int node, int port) {
+  sim_.schedule_at(at, [this, node, port] { fail_link(node, port); });
+  sim_.schedule_at(at + duration,
+                   [this, node, port] { restore_link(node, port); });
+}
+
+void FaultInjector::schedule_switch_outage(sim::Time at,
+                                           sim::Duration duration, int node) {
+  sim_.schedule_at(at, [this, node] { crash_switch(node); });
+  sim_.schedule_at(at + duration, [this, node] { restore_switch(node); });
+}
+
+void FaultInjector::schedule_collector_outage(sim::Time at,
+                                              sim::Duration duration,
+                                              int node) {
+  sim_.schedule_at(at, [this, node] { crash_collector(node); });
+  sim_.schedule_at(at + duration, [this, node] { restore_collector(node); });
+}
+
+int FaultInjector::plan_random(const ChaosConfig& config) {
+  const net::TopologyGraph& graph = testbed_.graph();
+
+  // Candidate enumeration in fixed node/port order: the seed alone decides
+  // the schedule.
+  std::vector<net::DirectedLink> cables;   // canonical (lower node) end
+  std::vector<int> switch_nodes;
+  std::vector<int> collector_nodes;
+  for (int node = 0; node < graph.num_nodes(); ++node) {
+    if (!graph.is_host(node)) {
+      switch_nodes.push_back(node);
+      if (testbed_.collector_by_node(node) != nullptr) {
+        collector_nodes.push_back(node);
+      }
+    }
+    for (int port = 0; port < graph.num_ports(node); ++port) {
+      const net::PortRef peer = graph.peer(node, port);
+      if (!peer.valid()) continue;
+      if (node > peer.node) continue;  // count each cable once
+      if (config.spare_host_links &&
+          (graph.is_host(node) || graph.is_host(peer.node))) {
+        continue;
+      }
+      cables.push_back(net::DirectedLink{node, port});
+    }
+  }
+
+  std::vector<FaultKind> classes;
+  if (config.include_links && !cables.empty()) {
+    classes.push_back(FaultKind::kLinkDown);
+  }
+  if (config.include_switches && !switch_nodes.empty()) {
+    classes.push_back(FaultKind::kSwitchCrash);
+  }
+  if (config.include_collectors && !collector_nodes.empty()) {
+    classes.push_back(FaultKind::kCollectorCrash);
+  }
+  if (classes.empty()) return 0;
+
+  for (int i = 0; i < config.num_faults; ++i) {
+    const FaultKind kind = classes[rng_.below(classes.size())];
+    const sim::Time at =
+        config.start + static_cast<sim::Duration>(
+                           rng_.uniform() *
+                           static_cast<double>(config.spread));
+    const sim::Duration down =
+        config.min_down +
+        static_cast<sim::Duration>(
+            rng_.uniform() *
+            static_cast<double>(config.max_down - config.min_down));
+    switch (kind) {
+      case FaultKind::kLinkDown: {
+        const net::DirectedLink cable = cables[rng_.below(cables.size())];
+        schedule_link_outage(at, down, cable.node, cable.port);
+        break;
+      }
+      case FaultKind::kSwitchCrash:
+        schedule_switch_outage(at, down,
+                               switch_nodes[rng_.below(switch_nodes.size())]);
+        break;
+      case FaultKind::kCollectorCrash:
+        schedule_collector_outage(
+            at, down, collector_nodes[rng_.below(collector_nodes.size())]);
+        break;
+      default:
+        break;
+    }
+  }
+  return config.num_faults;
+}
+
+bool FaultInjector::link_down(int node, int port) const {
+  const auto it = link_depth_.find(cable_id(node, port));
+  return it != link_depth_.end() && it->second > 0;
+}
+
+bool FaultInjector::switch_down(int node) const {
+  const auto it = switch_depth_.find(node);
+  return it != switch_depth_.end() && it->second > 0;
+}
+
+bool FaultInjector::collector_down(int node) const {
+  const auto it = collector_depth_.find(node);
+  return it != collector_depth_.end() && it->second > 0;
+}
+
+}  // namespace planck::fault

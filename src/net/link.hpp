@@ -14,6 +14,11 @@ namespace planck::net {
 /// Queueing lives in the transmitter (NIC queue / switch port queue); the
 /// link just models serialization + propagation. The transmitter must
 /// respect free_at() — transmit() asserts the line is idle.
+///
+/// A link can be administratively downed (cable pull / port disable by the
+/// fault plane). While down the transmitter keeps its drain timing — frames
+/// occupy the line as usual — but nothing is delivered, and frames already
+/// in flight when the link goes down are lost (the epoch guard below).
 class Link {
  public:
   Link(sim::Simulation& simulation, std::int64_t rate_bps,
@@ -39,6 +44,16 @@ class Link {
   sim::Time free_at() const { return free_at_; }
   bool busy() const { return free_at_ > sim_.now(); }
 
+  /// Administrative state. Bringing the link down kills frames currently in
+  /// flight (they never reach the far end) and every later transmit() until
+  /// the link is brought back up.
+  void set_admin_up(bool up) {
+    if (admin_up_ == up) return;
+    admin_up_ = up;
+    if (!up) ++epoch_;  // invalidates the deliveries already scheduled
+  }
+  bool admin_up() const { return admin_up_; }
+
   /// Puts `packet` on the wire now. Precondition: !busy() and connected().
   /// Returns the time the transmitter's line becomes free (now + serialize).
   /// Delivery at the far end happens serialize + propagation from now.
@@ -58,11 +73,20 @@ class Link {
     if (ser < 1) ser = 1;
     carry_ns_ = exact_ns - static_cast<double>(ser);
     free_at_ = sim_.now() + ser;
-    Node* dst = dst_;
-    const int port = dst_port_;
+    if (!admin_up_) {
+      // Dead wire: the transmitter's line timing is unchanged but the frame
+      // goes nowhere.
+      ++down_drops_;
+      return free_at_;
+    }
+    const std::uint32_t epoch = epoch_;
     Packet copy = packet;
-    sim_.schedule(ser + propagation_, [dst, port, copy] {
-      dst->handle_packet(copy, port);
+    sim_.schedule(ser + propagation_, [this, epoch, copy] {
+      if (epoch != epoch_) {
+        ++down_drops_;  // link went down while the frame was in flight
+        return;
+      }
+      dst_->handle_packet(copy, dst_port_);
     });
     ++packets_sent_;
     bytes_sent_ += packet.wire_size();
@@ -76,6 +100,9 @@ class Link {
 
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::int64_t bytes_sent() const { return bytes_sent_; }
+  /// Frames lost to the wire being administratively down (at transmit time
+  /// or mid-flight).
+  std::uint64_t down_drops() const { return down_drops_; }
 
  private:
   sim::Simulation& sim_;
@@ -85,8 +112,11 @@ class Link {
   int dst_port_ = 0;
   sim::Time free_at_ = 0;
   double carry_ns_ = 0.0;
+  bool admin_up_ = true;
+  std::uint32_t epoch_ = 0;
   std::uint64_t packets_sent_ = 0;
   std::int64_t bytes_sent_ = 0;
+  std::uint64_t down_drops_ = 0;
 };
 
 }  // namespace planck::net

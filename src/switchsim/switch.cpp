@@ -19,6 +19,40 @@ void Switch::attach_link(int port, net::Link* link) {
   ports_[static_cast<std::size_t>(port)].link = link;
 }
 
+void Switch::set_port_admin(int port, bool up) {
+  assert(port >= 0 && port < num_ports());
+  Port& p = ports_[static_cast<std::size_t>(port)];
+  if (p.admin_up == up) return;
+  p.admin_up = up;
+  if (p.link != nullptr) p.link->set_admin_up(up);
+  if (!up) flush_queue(port);
+  if (port_status_handler_ && online_) port_status_handler_(port, up);
+}
+
+void Switch::set_online(bool online) {
+  if (online_ == online) return;
+  online_ = online;
+  if (!online) {
+    for (int port = 0; port < num_ports(); ++port) flush_queue(port);
+  }
+}
+
+void Switch::flush_queue(int port) {
+  Port& p = ports_[static_cast<std::size_t>(port)];
+  // The head frame (if draining) is already on the wire; the pending
+  // finish_tx event expects to pop it, so it stays queued. Its delivery is
+  // killed at the link layer when the cable is the thing that died.
+  const std::size_t keep = p.draining ? 1 : 0;
+  while (p.queue.size() > keep) {
+    const net::Packet& pkt = p.queue.back();
+    buffer_.release(port, pkt.frame_size());
+    ++p.counters.drops;
+    p.counters.drop_bytes += pkt.frame_size();
+    ++fault_drops_;
+    p.queue.pop_back();
+  }
+}
+
 void Switch::set_mirroring(int monitor_port) {
   if (monitor_port_ >= 0) buffer_.set_port_cap(monitor_port_, -1);
   monitor_port_ = monitor_port;
@@ -47,6 +81,10 @@ int Switch::route(net::Packet& packet) {
 }
 
 void Switch::handle_packet(const net::Packet& packet, int in_port) {
+  if (!online_) {
+    ++fault_drops_;
+    return;
+  }
   auto& in_counters = ports_[static_cast<std::size_t>(in_port)].counters;
   ++in_counters.rx_packets;
   in_counters.rx_bytes += packet.frame_size();
@@ -102,6 +140,13 @@ void Switch::inject(const net::Packet& packet, int out_port) {
 void Switch::enqueue(int port, const net::Packet& packet, bool is_mirror) {
   Port& p = ports_[static_cast<std::size_t>(port)];
   if (p.link == nullptr) return;  // unwired port: silently discard
+  if (!online_ || !p.admin_up) {
+    ++fault_drops_;
+    ++p.counters.drops;
+    p.counters.drop_bytes += packet.frame_size();
+    if (is_mirror) ++mirror_drops_;
+    return;
+  }
   if (!buffer_.admit(port, packet.frame_size())) {
     ++p.counters.drops;
     p.counters.drop_bytes += packet.frame_size();

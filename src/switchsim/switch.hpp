@@ -75,6 +75,10 @@ class Switch : public net::Node {
  public:
   using SFlowHandler = std::function<void(
       const net::Packet&, int in_port, int out_port, std::uint32_t rate)>;
+  /// Loss-of-signal notification: the switch noticed a local port change.
+  /// The testbed forwards these to the controller over the (lossy) control
+  /// channel; a crashed switch fires nothing.
+  using PortStatusHandler = std::function<void(int port, bool up)>;
 
   Switch(sim::Simulation& simulation, std::string name, int num_ports,
          const SwitchConfig& config);
@@ -107,6 +111,31 @@ class Switch : public net::Node {
   void set_sflow_handler(SFlowHandler handler) {
     sflow_handler_ = std::move(handler);
   }
+
+  // --- failure plane ----------------------------------------------------
+  /// Administrative port state (cable pull / port disable). Bringing a port
+  /// down flushes its output queue (enqueued frames are lost), downs the
+  /// attached link so in-flight frames die, and fires the port-status
+  /// handler — the ASIC's loss-of-signal interrupt.
+  void set_port_admin(int port, bool up);
+  bool port_up(int port) const {
+    return ports_[static_cast<std::size_t>(port)].admin_up;
+  }
+  void set_port_status_handler(PortStatusHandler handler) {
+    port_status_handler_ = std::move(handler);
+  }
+
+  /// Whole-switch crash/restore. Offline, the switch forwards nothing,
+  /// answers no control-plane RPC, and emits no notifications; its PHYs
+  /// stay up (a wedged data plane — the worst case for detection, which
+  /// must come from the controller's health monitor). Rules survive a
+  /// restart, like config restored from flash.
+  void set_online(bool online);
+  bool online() const { return online_; }
+
+  /// Frames dropped by the failure plane: flushed from queues on port-down,
+  /// refused while the switch was offline or a port was disabled.
+  std::uint64_t fault_drops() const { return fault_drops_; }
 
   // --- observability ----------------------------------------------------
   const PortCounters& counters(int port) const {
@@ -142,6 +171,7 @@ class Switch : public net::Node {
     net::Link* link = nullptr;
     std::deque<net::Packet> queue;
     bool draining = false;
+    bool admin_up = true;
     PortCounters counters;
   };
 
@@ -149,6 +179,7 @@ class Switch : public net::Node {
   int route(net::Packet& packet);
 
   void enqueue(int port, const net::Packet& packet, bool is_mirror);
+  void flush_queue(int port);
   void start_tx(int port);
   void finish_tx(int port);
   void maybe_sflow_sample(const net::Packet& packet, int in_port,
@@ -161,6 +192,9 @@ class Switch : public net::Node {
   std::vector<Port> ports_;
   RuleTable rules_;
   int monitor_port_ = -1;
+  bool online_ = true;
+  PortStatusHandler port_status_handler_;
+  std::uint64_t fault_drops_ = 0;
 
   std::uint64_t no_route_drops_ = 0;
   std::uint64_t mirror_drops_ = 0;

@@ -1,5 +1,10 @@
 #include "te/planck_te.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <vector>
+
 #include "net/addresses.hpp"
 
 namespace planck::te {
@@ -13,6 +18,9 @@ PlanckTe::PlanckTe(sim::Simulation& simulation,
       state_(controller.routing()) {
   controller_.subscribe_congestion(
       [this](const core::CongestionEvent& e) { process_congestion(e); });
+  controller_.subscribe_link_status([this](int, int, bool up) {
+    if (!up) handle_link_down();
+  });
 }
 
 void PlanckTe::process_congestion(const core::CongestionEvent& event) {
@@ -46,8 +54,8 @@ void PlanckTe::process_congestion(const core::CongestionEvent& event) {
   }
 }
 
-void PlanckTe::greedy_route_flow(KnownFlow& flow) {
-  if (flow.last_reroute >= 0 &&
+void PlanckTe::greedy_route_flow(KnownFlow& flow, bool failover) {
+  if (!failover && flow.last_reroute >= 0 &&
       sim_.now() - flow.last_reroute < config_.reroute_cooldown) {
     return;  // a previous reroute of this flow is still propagating
   }
@@ -57,26 +65,62 @@ void PlanckTe::greedy_route_flow(KnownFlow& flow) {
 
   int best_tree = flow.tree;
   // Hysteresis: alternates must beat the current path by a real margin.
-  double best_bottleneck =
-      state_.path_bottleneck(
-          routing.path(flow.src_host, flow.dst_host, flow.tree), loads) +
-      config_.min_improvement_bps;
+  // A dead current path has no bottleneck worth defending — anything
+  // alive beats it.
+  double best_bottleneck;
+  if (failover) {
+    best_tree = -1;
+    best_bottleneck = -std::numeric_limits<double>::infinity();
+  } else {
+    best_bottleneck =
+        state_.path_bottleneck(
+            routing.path(flow.src_host, flow.dst_host, flow.tree), loads) +
+        config_.min_improvement_bps;
+  }
 
   for (int tree = 0; tree < routing.num_trees(); ++tree) {
     if (tree == flow.tree) continue;
-    const double bottleneck = state_.path_bottleneck(
-        routing.path(flow.src_host, flow.dst_host, tree), loads);
+    const net::RoutePath& path =
+        routing.path(flow.src_host, flow.dst_host, tree);
+    // Never reroute onto equipment the controller believes dead.
+    if (!controller_.path_alive(path)) continue;
+    const double bottleneck = state_.path_bottleneck(path, loads);
     if (bottleneck > best_bottleneck) {
       best_bottleneck = bottleneck;
       best_tree = tree;
     }
   }
 
+  if (best_tree < 0) return;  // every alternate tree is dead too
   if (best_tree != flow.tree) {
     flow.tree = best_tree;
     flow.last_reroute = sim_.now();
     ++reroutes_;
+    if (failover) ++failovers_;
     controller_.reroute_flow(flow.key, best_tree, config_.mechanism);
+  }
+}
+
+void PlanckTe::handle_link_down() {
+  // Deterministic iteration: the flow map is unordered.
+  std::vector<net::FlowKey> keys;
+  keys.reserve(state_.size());
+  for (const auto& [key, flow] : state_.flows()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(),
+            [](const net::FlowKey& a, const net::FlowKey& b) {
+              return std::tie(a.src_ip, a.dst_ip, a.src_port, a.dst_port) <
+                     std::tie(b.src_ip, b.dst_ip, b.src_port, b.dst_port);
+            });
+  const controller::Routing& routing = controller_.routing();
+  for (const net::FlowKey& key : keys) {
+    KnownFlow& flow = state_.mutable_flows().at(key);
+    // The controller may already have failed this flow over; its
+    // assignment is authoritative.
+    flow.tree = controller_.tree_of(key);
+    const net::RoutePath& path =
+        routing.path(flow.src_host, flow.dst_host, flow.tree);
+    if (controller_.path_alive(path)) continue;
+    greedy_route_flow(flow, /*failover=*/true);
   }
 }
 

@@ -43,11 +43,19 @@ class PlanckTe {
 
   std::uint64_t events_processed() const { return events_processed_; }
   std::uint64_t reroutes() const { return reroutes_; }
+  /// Reroutes forced by a link/switch failure rather than congestion.
+  std::uint64_t failovers() const { return failovers_; }
   const TeState& state() const { return state_; }
 
  private:
-  /// Algorithm 1: greedy_route_flow.
-  void greedy_route_flow(KnownFlow& flow);
+  /// Algorithm 1: greedy_route_flow. With `failover` set the flow's
+  /// current path is known-dead: the cooldown is waived (correctness beats
+  /// flap damping) and staying put is not an option.
+  void greedy_route_flow(KnownFlow& flow, bool failover = false);
+  /// Link-down notification from the controller: every known flow whose
+  /// current path crosses dead equipment is failed over to the best
+  /// surviving tree.
+  void handle_link_down();
 
   sim::Simulation& sim_;
   controller::Controller& controller_;
@@ -56,6 +64,7 @@ class PlanckTe {
 
   std::uint64_t events_processed_ = 0;
   std::uint64_t reroutes_ = 0;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace planck::te

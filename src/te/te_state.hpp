@@ -86,6 +86,10 @@ class TeState {
   flows() const {
     return flows_;
   }
+  std::unordered_map<net::FlowKey, KnownFlow, net::FlowKeyHash>&
+  mutable_flows() {
+    return flows_;
+  }
 
  private:
   const controller::Routing& routing_;

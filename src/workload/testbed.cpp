@@ -38,6 +38,7 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
       if (!peer.valid()) continue;
       const net::LinkSpec& spec = graph_.link_spec(node, port);
       net::Link* out = make_link(spec.rate_bps, spec.propagation);
+      link_out_[PortKey{node, port}] = out;
       // Receiving end.
       if (graph_.is_host(peer.node)) {
         out->connect(hosts_[static_cast<std::size_t>(
@@ -81,14 +82,45 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
           make_link(rate, config.monitor_propagation);
       monitor_link->connect(collector.get(), 0);
       sw->attach_link(monitor_port, monitor_link);
+      link_out_[PortKey{node, monitor_port}] = monitor_link;
       controller_->attach_collector(node, collector.get());
       collector_by_node_[node] = collector.get();
       collectors_.push_back(std::move(collector));
     }
     controller_->attach_switch(node, sw, monitor_port);
+    // Loss-of-signal notifications flow to the controller over its (lossy)
+    // control channel.
+    switchsim::Switch* sw_ptr = sw;
+    sw_ptr->set_port_status_handler([this, node](int port, bool up) {
+      controller_->notify_port_status(node, port, up);
+    });
   }
 
   controller_->install_routes();
+}
+
+void Testbed::set_link_state(int node, int port, bool up) {
+  set_direction_state(node, port, up);
+  const net::PortRef peer = graph_.peer(node, port);
+  if (peer.valid()) set_direction_state(peer.node, peer.port, up);
+}
+
+void Testbed::set_direction_state(int node, int port, bool up) {
+  if (!graph_.is_host(node)) {
+    switch_by_node_.at(node)->set_port_admin(port, up);
+    return;
+  }
+  // Host end: no admin plane, just the PHY.
+  net::Link* link = link_out(node, port);
+  if (link != nullptr) link->set_admin_up(up);
+}
+
+void Testbed::set_switch_online(int graph_node, bool online) {
+  switch_by_node_.at(graph_node)->set_online(online);
+}
+
+void Testbed::set_collector_online(int graph_node, bool online) {
+  collector_by_node_.at(graph_node)->set_online(online);
 }
 
 net::Link* Testbed::make_link(std::int64_t rate_bps,

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -80,8 +82,40 @@ class Testbed {
   /// All switches as (graph node, pointer) pairs — what PollTe polls.
   std::vector<std::pair<int, switchsim::Switch*>> switch_nodes();
 
+  // --- fault-plane hooks --------------------------------------------------
+  /// The Link transmitting out of (node, port); monitor cables live at
+  /// (switch node, monitor port). nullptr when unwired.
+  net::Link* link_out(int node, int port) {
+    const auto it = link_out_.find(PortKey{node, port});
+    return it == link_out_.end() ? nullptr : it->second;
+  }
+  /// Cuts or restores the whole cable attached to (node, port): both
+  /// directions go down. A switch end goes through set_port_admin (so the
+  /// loss-of-signal notification reaches the controller); a host end just
+  /// kills the link (hosts don't speak the control protocol).
+  void set_link_state(int node, int port, bool up);
+  /// Crash/restore a whole switch (wedged data plane; see Switch).
+  void set_switch_online(int graph_node, bool online);
+  /// Crash/restore one collector process.
+  void set_collector_online(int graph_node, bool online);
+
  private:
+  struct PortKey {
+    int node;
+    int port;
+    friend bool operator==(const PortKey&, const PortKey&) = default;
+  };
+  struct PortKeyHash {
+    std::size_t operator()(const PortKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.node))
+           << 32) |
+          static_cast<std::uint32_t>(k.port));
+    }
+  };
+
   net::Link* make_link(std::int64_t rate_bps, sim::Duration propagation);
+  void set_direction_state(int node, int port, bool up);
 
   sim::Simulation& sim_;
   net::TopologyGraph graph_;
@@ -94,6 +128,7 @@ class Testbed {
   std::vector<std::unique_ptr<core::Collector>> collectors_;
   std::unordered_map<int, switchsim::Switch*> switch_by_node_;
   std::unordered_map<int, core::Collector*> collector_by_node_;
+  std::unordered_map<PortKey, net::Link*, PortKeyHash> link_out_;
   std::unique_ptr<controller::Controller> controller_;
 };
 

@@ -221,6 +221,97 @@ TEST(PlanckTe, AccountsKnownFlowsOnAlternatePaths) {
   EXPECT_GE(f.te.state().size(), 2u);
 }
 
+TEST(PlanckTe, CooldownSuppressesBackToBackRerouteAttempts) {
+  TeFixture f;
+  const auto flows = std::vector<core::FlowRate>{
+      TeFixture::rate(0, 4, 4.7e9), TeFixture::rate(1, 5, 4.7e9)};
+  f.te.process_congestion(f.event_for(flows));
+  EXPECT_EQ(f.te.reroutes(), 1u);
+  // A burst of stale notifications inside the cooldown window (reroute
+  // still propagating) must not compound the move.
+  for (int i = 0; i < 5; ++i) {
+    f.sim.run_until(f.sim.now() + sim::microseconds(400));
+    f.te.process_congestion(f.event_for(flows));
+  }
+  EXPECT_EQ(f.te.reroutes(), 1u);
+}
+
+TEST(PlanckTe, FlowTimeoutExpiresEntriesMidCongestion) {
+  TeFixture f;
+  // Two flows known at t=0.
+  f.te.process_congestion(f.event_for(
+      {TeFixture::rate(0, 4, 4.7e9), TeFixture::rate(1, 5, 4.7e9)}));
+  EXPECT_EQ(f.te.state().size(), 2u);
+  // Past the 3 ms flow_timeout both entries are stale; the next event
+  // (reporting only a new flow) expunges them so their phantom load does
+  // not distort bottleneck math.
+  f.sim.run_until(sim::milliseconds(10));
+  f.te.process_congestion(f.event_for({TeFixture::rate(2, 6, 9.4e9)}));
+  EXPECT_EQ(f.te.state().size(), 1u);
+  EXPECT_EQ(f.te.state().flows().count(TeFixture::rate(2, 6, 0).key), 1u);
+}
+
+TEST(PlanckTe, NotificationForAlreadyRemovedFlowIsHarmless) {
+  TeFixture f;
+  const auto flows = std::vector<core::FlowRate>{
+      TeFixture::rate(0, 4, 4.7e9), TeFixture::rate(1, 5, 4.7e9)};
+  f.te.process_congestion(f.event_for(flows));
+  f.sim.run_until(sim::milliseconds(10));
+  // Entries have timed out. A late (stale) notification naming the same
+  // flows arrives: it must be treated as fresh information, not crash on
+  // the missing state.
+  f.te.process_congestion(f.event_for(flows));
+  EXPECT_EQ(f.te.state().size(), 2u);
+  EXPECT_GE(f.te.events_processed(), 2u);
+}
+
+TEST(PlanckTe, IgnoresFlowsWithUnknownHosts) {
+  TeFixture f;
+  core::FlowRate bogus;
+  bogus.key = net::FlowKey{0xdeadbeef, 0xcafef00d, 1, 2,
+                           net::Protocol::kTcp};  // not host IPs
+  bogus.rate_bps = 9e9;
+  auto e = f.event_for({bogus});
+  f.te.process_congestion(e);
+  EXPECT_EQ(f.te.state().size(), 0u);
+  EXPECT_EQ(f.te.reroutes(), 0u);
+}
+
+TEST(PlanckTe, FailsOverFlowsOffDeadLinks) {
+  TeFixture f;
+  // TE learns of a big flow 0->4 on the base tree.
+  f.te.process_congestion(f.event_for({TeFixture::rate(0, 4, 9.4e9)}));
+  ASSERT_EQ(f.te.state().size(), 1u);
+  ASSERT_EQ(f.te.reroutes(), 0u);  // alone at line rate: left in place
+  // Its aggregation uplink dies. The cooldown must NOT protect it — the
+  // path is gone — and the replacement tree must avoid the dead link.
+  const net::PathHop hop =
+      f.bed.controller().routing().path(0, 4, 0).hops[1];
+  f.bed.set_link_state(hop.switch_node, hop.out_port, false);
+  f.sim.run_until(sim::milliseconds(2));  // port-status propagates
+  EXPECT_GE(f.te.failovers() + f.bed.controller().failovers(), 1u);
+  const int tree = f.bed.controller().tree_of(TeFixture::rate(0, 4, 0).key);
+  EXPECT_NE(tree, 0);
+  EXPECT_TRUE(f.bed.controller().path_alive(
+      f.bed.controller().routing().path(0, 4, tree)));
+}
+
+TEST(PlanckTe, RefusesRerouteOntoDeadTree) {
+  TeFixture f;
+  // Kill every shadow tree's agg uplink for 0->4, leaving only tree 0.
+  const auto& routing = f.bed.controller().routing();
+  for (int tree = 1; tree < routing.num_trees(); ++tree) {
+    const net::PathHop hop = routing.path(0, 4, tree).hops[1];
+    f.bed.set_link_state(hop.switch_node, hop.out_port, false);
+  }
+  f.sim.run_until(sim::milliseconds(2));
+  // Two colliding elephants would normally trigger a move; with every
+  // alternate dead, the flows stay on the (congested but live) base tree.
+  f.te.process_congestion(f.event_for(
+      {TeFixture::rate(0, 4, 4.7e9), TeFixture::rate(1, 5, 4.7e9)}));
+  EXPECT_EQ(f.bed.controller().tree_of(TeFixture::rate(0, 4, 0).key), 0);
+}
+
 // ---------------------------------------------------------------------------
 // PollTe demand estimation (Hedera)
 // ---------------------------------------------------------------------------
