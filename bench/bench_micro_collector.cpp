@@ -122,11 +122,11 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   sim::Time t = 0;
   int sink = 0;
   for (auto _ : state) {
-    q.push(t + 1000, [&sink] { ++sink; });
     q.push(t + 500, [&sink] { ++sink; });
-    q.pop()();
-    q.pop()();
-    t += 100;
+    q.push(t + 1000, [&sink] { ++sink; });
+    q.run_top();
+    q.run_top();
+    t += 1500;  // keep schedule times monotonic past the last pop
   }
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(

@@ -9,9 +9,11 @@
 //   PLANCK_BENCH_SCALE  multiplier on workload flow sizes (default 1.0 of
 //                       the bench's documented defaults)
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stats/samples.hpp"
@@ -44,6 +46,67 @@ inline void header(const char* id, const char* title) {
   std::printf("%s — %s\n", id, title);
   std::printf("==============================================================\n");
 }
+
+/// Machine-readable bench output. Benches that support it accept
+/// `--json <path>` and emit one record per measurement with the event
+/// count, wall-clock seconds, simulated seconds, and derived events/sec —
+/// so CI (and scripts) can assert on throughput without scraping stdout.
+class JsonReport {
+ public:
+  /// Parses `--json <path>` out of argv; disabled when the flag is absent.
+  JsonReport(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string_view(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one measurement. `sim_seconds` may be 0 for benches with no
+  /// simulated-time dimension (raw data-structure loops).
+  void add(std::string name, std::uint64_t events, double wall_seconds,
+           double sim_seconds) {
+    rows_.push_back(Row{std::move(name), events, wall_seconds, sim_seconds});
+  }
+
+  /// Writes the report (no-op unless enabled). Returns false on I/O error.
+  bool write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"results\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      const double rate =
+          r.wall_seconds > 0 ? static_cast<double>(r.events) / r.wall_seconds
+                             : 0.0;
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"events\": %llu, "
+                   "\"wall_seconds\": %.6f, \"sim_seconds\": %.6f, "
+                   "\"events_per_sec\": %.1f}%s\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.events), r.wall_seconds,
+                   r.sim_seconds, rate, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::uint64_t events;
+    double wall_seconds;
+    double sim_seconds;
+  };
+
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 /// Prints a CDF as (value, fraction) rows, downsampled to ~`points`.
 inline void print_cdf(const char* label, const stats::Samples& samples,

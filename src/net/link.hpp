@@ -63,6 +63,11 @@ class Link {
   /// up to whole nanoseconds would quantize away sub-0.1% rate differences
   /// (e.g. the clock-tolerance skews the testbed applies) and make
   /// nominally different links tick in perfect lockstep.
+  ///
+  /// Delivery rides the engine's typed DeliverPacket path: the frame is
+  /// copied once into a pooled scheduler slot and handed to the receiver in
+  /// place, with the link's epoch in the event's aux word so frames in
+  /// flight across an admin-down are dropped.
   sim::Time transmit(const Packet& packet) {
     assert(!busy());
     assert(connected());
@@ -79,15 +84,8 @@ class Link {
       ++down_drops_;
       return free_at_;
     }
-    const std::uint32_t epoch = epoch_;
-    Packet copy = packet;
-    sim_.schedule(ser + propagation_, [this, epoch, copy] {
-      if (epoch != epoch_) {
-        ++down_drops_;  // link went down while the frame was in flight
-        return;
-      }
-      dst_->handle_packet(copy, dst_port_);
-    });
+    sim_.schedule_packet(ser + propagation_, this, epoch_, &Link::deliver,
+                         packet);
     ++packets_sent_;
     bytes_sent_ += packet.wire_size();
     return free_at_;
@@ -105,6 +103,15 @@ class Link {
   std::uint64_t down_drops() const { return down_drops_; }
 
  private:
+  static void deliver(void* self, std::uint32_t epoch, const Packet& packet) {
+    auto* link = static_cast<Link*>(self);
+    if (epoch != link->epoch_) {
+      ++link->down_drops_;  // link went down while the frame was in flight
+      return;
+    }
+    link->dst_->handle_packet(packet, link->dst_port_);
+  }
+
   sim::Simulation& sim_;
   std::int64_t rate_bps_;
   sim::Duration propagation_;

@@ -1,85 +1,413 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace planck::sim {
+namespace {
+
+// Min-heap on (when, seq) via the std heap algorithms' max-heap order.
+struct OverflowLater {
+  bool operator()(const auto& a, const auto& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+
+std::uint32_t scan_bits(const std::uint64_t* bits, int nwords,
+                        std::uint32_t start) {
+  const auto total = static_cast<std::uint32_t>(nwords) * 64;
+  if (start >= total) return 0xffffffffu;
+  int w = static_cast<int>(start >> 6);
+  std::uint64_t word = bits[w] & (~0ULL << (start & 63));
+  for (;;) {
+    if (word != 0) {
+      return static_cast<std::uint32_t>(w) * 64 +
+             static_cast<std::uint32_t>(__builtin_ctzll(word));
+    }
+    if (++w >= nwords) return 0xffffffffu;
+    word = bits[w];
+  }
+}
+
+void set_bit(std::uint64_t* bits, std::uint32_t i) {
+  bits[i >> 6] |= 1ULL << (i & 63);
+}
+
+void clear_bit(std::uint64_t* bits, std::uint32_t i) {
+  bits[i >> 6] &= ~(1ULL << (i & 63));
+}
+
+}  // namespace
+
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue() {
+  // Pending nodes still own payloads (cancelled ones were destroyed at
+  // cancel time); release them before the chunks go away.
+  for (std::uint32_t i = 0; i < node_count_; ++i) {
+    Node& n = node(i);
+    if (n.state == State::kPending) destroy_payload(n);
+  }
+}
+
+// --- slab -----------------------------------------------------------------
+
+std::uint32_t EventQueue::alloc_node() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = node(idx).next;
+    return idx;
+  }
+  const std::uint32_t idx = node_count_;
+  if ((idx & (kChunkSize - 1)) == 0) {
+    chunks_.emplace_back(new Node[kChunkSize]);
+  }
+  ++node_count_;
+  return idx;
+}
+
+void EventQueue::free_node(std::uint32_t idx) {
+  Node& n = node(idx);
+  ++n.gen;  // invalidates every outstanding EventId for this slot
+  n.state = State::kFree;
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+void EventQueue::destroy_payload(Node& n) {
+  switch (n.kind) {
+    case Kind::kCallback:
+      n.u.cb.~Callback();
+      break;
+    case Kind::kPacket:
+      n.u.dp.~DeliverPacket();
+      break;
+    case Kind::kCall:
+      n.u.call.~Call();
+      break;
+  }
+}
+
+// --- scheduling -----------------------------------------------------------
+
+std::uint32_t EventQueue::prepare(Time when) {
+  if (when < cursor_) when = cursor_;  // time never moves backwards
+  if (cached_ != kNil && when < cached_when_) {
+    cached_ = kNil;  // the new event beats the memoized minimum
+  }
+  const std::uint32_t idx = alloc_node();
+  Node& n = node(idx);
+  n.when = when;
+  n.seq = ++seq_;
+  n.next = kNil;
+  n.state = State::kPending;
+  return idx;
+}
 
 EventId EventQueue::push(Time when, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id, std::move(cb)});
-  sift_up(heap_.size() - 1);
-  return id;
+  const std::uint32_t idx = prepare(when);
+  Node& n = node(idx);
+  n.kind = Kind::kCallback;
+  ::new (&n.u.cb) Callback(std::move(cb));
+  insert(idx);
+  ++live_;
+  return (static_cast<EventId>(idx + 1) << 32) | n.gen;
 }
+
+EventId EventQueue::push_packet(Time when, void* target, std::uint32_t aux,
+                                PacketFn fn, const net::Packet& packet) {
+  const std::uint32_t idx = prepare(when);
+  Node& n = node(idx);
+  n.kind = Kind::kPacket;
+  ::new (&n.u.dp) DeliverPacket{fn, target, aux, packet};
+  insert(idx);
+  ++live_;
+  return (static_cast<EventId>(idx + 1) << 32) | n.gen;
+}
+
+EventId EventQueue::push_call(Time when, void* target, std::uint32_t aux,
+                              CallFn fn) {
+  const std::uint32_t idx = prepare(when);
+  Node& n = node(idx);
+  n.kind = Kind::kCall;
+  ::new (&n.u.call) Call{fn, target, aux};
+  insert(idx);
+  ++live_;
+  return (static_cast<EventId>(idx + 1) << 32) | n.gen;
+}
+
+void EventQueue::append(Slot& slot, std::uint64_t* bits,
+                        std::uint32_t slot_index, std::uint32_t idx) {
+  node(idx).next = kNil;
+  if (slot.head == kNil) {
+    slot.head = slot.tail = idx;
+    set_bit(bits, slot_index);
+  } else {
+    node(slot.tail).next = idx;
+    slot.tail = idx;
+  }
+}
+
+void EventQueue::insert(std::uint32_t idx) {
+  const Time when = node(idx).when;
+  if ((when >> kL0Bits) == (cursor_ >> kL0Bits)) {
+    const auto s = static_cast<std::uint32_t>(when) & (kL0Slots - 1);
+    append(l0_[s], l0_bits_, s, idx);
+    return;
+  }
+  for (int level = 0; level < kFarLevels; ++level) {
+    const int shift = kFarShift[level];
+    if ((when >> (shift + kFarBits)) == (cursor_ >> (shift + kFarBits))) {
+      const auto s = static_cast<std::uint32_t>(when >> shift) &
+                     (kFarSlots - 1);
+      append(far_[level][s], far_bits_[level], s, idx);
+      return;
+    }
+  }
+  overflow_.push_back(OverflowEntry{when, node(idx).seq, idx});
+  std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+}
+
+// --- cancellation ---------------------------------------------------------
 
 void EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  cancelled_.insert(id);
+  const auto idx_plus = static_cast<std::uint32_t>(id >> 32);
+  if (idx_plus == 0 || idx_plus > node_count_) return;
+  Node& n = node(idx_plus - 1);
+  if (n.gen != static_cast<std::uint32_t>(id)) return;  // fired: safe no-op
+  if (n.state != State::kPending) return;  // executing right now: no-op
+  destroy_payload(n);  // release captured resources promptly
+  n.state = State::kCancelled;  // unlinked (and freed) lazily by the scans
+  --live_;
+  cached_ = kNil;
 }
 
-bool EventQueue::empty() {
-  drop_cancelled_top();
-  return heap_.empty();
-}
+// --- popping --------------------------------------------------------------
 
 Time EventQueue::next_time() {
-  drop_cancelled_top();
-  assert(!heap_.empty());
-  return heap_.front().when;
+  const std::uint32_t idx = peek();
+  assert(idx != kNil);
+  return node(idx).when;
 }
 
-EventQueue::Callback EventQueue::pop(Time* when) {
-  drop_cancelled_top();
-  assert(!heap_.empty());
-  if (when != nullptr) *when = heap_.front().when;
-  Callback cb = std::move(heap_.front().cb);
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return cb;
-}
+void EventQueue::run_top(Time* when) {
+  const std::uint32_t idx = find_next();
+  assert(idx != kNil);
+  Node& n = node(idx);
+  if (when != nullptr) *when = n.when;
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty() && !cancelled_.empty()) {
-    auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+  // find_next always leaves its result at the head of a level-0 slot.
+  const auto s = static_cast<std::uint32_t>(n.when) & (kL0Slots - 1);
+  Slot& slot = l0_[s];
+  assert(slot.head == idx);
+  slot.head = n.next;
+  if (slot.head == kNil) {
+    slot.tail = kNil;
+    clear_bit(l0_bits_, s);
   }
-}
+  cached_ = kNil;
+  --live_;
+  n.state = State::kExecuting;  // cancel(own id) during execution: no-op
 
-// Both sifts use the hole technique: the displaced entry is held aside and
-// written exactly once, instead of swap chains that move the (large)
-// entries three times per level.
-
-void EventQueue::sift_up(std::size_t i) {
-  if (i == 0) return;
-  Entry moving = std::move(heap_[i]);
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], moving)) break;
-    heap_[i] = std::move(heap_[parent]);
-    i = parent;
+  // Execute in place: the chunked slab keeps `n` stable even if the event
+  // pushes (growing the slab) while running.
+  switch (n.kind) {
+    case Kind::kCallback:
+      n.u.cb();
+      break;
+    case Kind::kPacket:
+      n.u.dp.fn(n.u.dp.target, n.u.dp.aux, n.u.dp.packet);
+      break;
+    case Kind::kCall:
+      n.u.call.fn(n.u.call.target, n.u.call.aux);
+      break;
   }
-  heap_[i] = std::move(moving);
+  destroy_payload(n);
+  free_node(idx);
 }
 
-void EventQueue::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  Entry moving = std::move(heap_[i]);
+std::uint32_t EventQueue::find_next() {
+  assert(live_ > 0);
   for (;;) {
-    const std::size_t left = 2 * i + 1;
-    if (left >= n) break;
-    const std::size_t right = left + 1;
-    std::size_t smallest = left;
-    if (right < n && later(heap_[left], heap_[right])) smallest = right;
-    if (!later(moving, heap_[smallest])) break;
-    heap_[i] = std::move(heap_[smallest]);
-    i = smallest;
+    // Scan the near wheel from the cursor's slot to the end of the page,
+    // lazily freeing cancelled nodes as they surface at slot heads.
+    std::uint32_t s = scan_bits(l0_bits_, kL0Words,
+                                static_cast<std::uint32_t>(cursor_) &
+                                    (kL0Slots - 1));
+    while (s != kNotFound) {
+      Slot& slot = l0_[s];
+      std::uint32_t h = slot.head;
+      while (h != kNil && node(h).state == State::kCancelled) {
+        const std::uint32_t next = node(h).next;
+        free_node(h);
+        h = next;
+      }
+      slot.head = h;
+      if (h != kNil) {
+        cursor_ = node(h).when;
+        return h;
+      }
+      slot.tail = kNil;
+      clear_bit(l0_bits_, s);
+      s = scan_bits(l0_bits_, kL0Words, s + 1);
+    }
+    if (!advance()) return kNil;  // unreachable while live_ > 0
   }
-  heap_[i] = std::move(moving);
+}
+
+// Unlinks and frees cancelled nodes in `slot`, clearing its occupancy bit if
+// it empties out. Returns the surviving head (kNil if none). Freeing dead
+// nodes is semantically invisible, so the pure peek may use this too.
+std::uint32_t EventQueue::sweep_slot(Slot& slot, std::uint64_t* bits,
+                                     std::uint32_t slot_index) {
+  std::uint32_t prev = kNil;
+  std::uint32_t h = slot.head;
+  while (h != kNil) {
+    const std::uint32_t next = node(h).next;
+    if (node(h).state == State::kCancelled) {
+      if (prev == kNil) {
+        slot.head = next;
+      } else {
+        node(prev).next = next;
+      }
+      if (slot.tail == h) slot.tail = prev;
+      free_node(h);
+    } else {
+      prev = h;
+    }
+    h = next;
+  }
+  if (slot.head == kNil) {
+    slot.tail = kNil;
+    clear_bit(bits, slot_index);
+  }
+  return slot.head;
+}
+
+std::uint32_t EventQueue::peek() {
+  if (cached_ != kNil) return cached_;
+  assert(live_ > 0);
+  // A pure read of the earliest (when, seq): it may free cancelled nodes
+  // (invisible to callers) but never moves cursor_ and never cascades live
+  // nodes, so probing the queue cannot affect where later pushes land.
+  //
+  // Level containment makes this a short walk: every event resident in a
+  // far level is strictly later than every event one level below (the
+  // cursor entering a page cascades that page's slot first), so the first
+  // level with a live event holds the minimum, and within a level the first
+  // occupied slot does.
+  std::uint32_t s = scan_bits(l0_bits_, kL0Words,
+                              static_cast<std::uint32_t>(cursor_) &
+                                  (kL0Slots - 1));
+  while (s != kNotFound) {
+    // A level-0 slot spans one nanosecond and lists append in push order,
+    // so the surviving head is the slot's (when, seq) minimum.
+    const std::uint32_t h = sweep_slot(l0_[s], l0_bits_, s);
+    if (h != kNil) {
+      cached_ = h;
+      cached_when_ = node(h).when;
+      return h;
+    }
+    s = scan_bits(l0_bits_, kL0Words, s + 1);
+  }
+  for (int level = 0; level < kFarLevels; ++level) {
+    const int shift = kFarShift[level];
+    const auto from = static_cast<std::uint32_t>(cursor_ >> shift) &
+                      (kFarSlots - 1);
+    std::uint32_t fs = scan_bits(far_bits_[level], kFarWords, from);
+    while (fs != kNotFound) {
+      std::uint32_t h = sweep_slot(far_[level][fs], far_bits_[level], fs);
+      if (h != kNil) {
+        // A far slot spans many nanoseconds; walk it for the minimum.
+        std::uint32_t best = h;
+        for (h = node(h).next; h != kNil; h = node(h).next) {
+          const Node& a = node(h);
+          const Node& b = node(best);
+          if (a.when < b.when || (a.when == b.when && a.seq < b.seq)) {
+            best = h;
+          }
+        }
+        cached_ = best;
+        cached_when_ = node(best).when;
+        return best;
+      }
+      fs = scan_bits(far_bits_[level], kFarWords, fs + 1);
+    }
+  }
+  while (!overflow_.empty() &&
+         node(overflow_.front().idx).state == State::kCancelled) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    free_node(overflow_.back().idx);
+    overflow_.pop_back();
+  }
+  if (!overflow_.empty()) {
+    const std::uint32_t idx = overflow_.front().idx;
+    cached_ = idx;
+    cached_when_ = node(idx).when;
+    return idx;
+  }
+  return kNil;  // unreachable while live_ > 0
+}
+
+bool EventQueue::advance() {
+  // The near page is drained; cascade the next occupied far slot down one
+  // level. The far slot covering the *current* position at each level is
+  // always empty (it was cascaded when the cursor entered it), so scanning
+  // from the current index inclusive is safe.
+  for (int level = 0; level < kFarLevels; ++level) {
+    const int shift = kFarShift[level];
+    const auto from = static_cast<std::uint32_t>(cursor_ >> shift) &
+                      (kFarSlots - 1);
+    const std::uint32_t s = scan_bits(far_bits_[level], kFarWords, from);
+    if (s == kNotFound) continue;
+    // Jump the cursor to the base of that slot (lower-level indices reset
+    // to zero) before re-bucketing, so insert() routes into the new page.
+    const Time page_mask = (Time{1} << (shift + kFarBits)) - 1;
+    cursor_ = (cursor_ & ~page_mask) | (static_cast<Time>(s) << shift);
+    cascade(level, s);
+    return true;
+  }
+  if (overflow_.empty()) return false;
+  // Pull the next occupied L3 page out of the overflow heap. Popping in
+  // (when, seq) order keeps equal-time events in push order, preserving the
+  // FIFO invariant through the re-bucketing.
+  const Time page = overflow_.front().when >> kOverflowShift;
+  if (page != (cursor_ >> kOverflowShift)) {
+    cursor_ = page << kOverflowShift;
+  }
+  while (!overflow_.empty() &&
+         (overflow_.front().when >> kOverflowShift) == page) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    const std::uint32_t idx = overflow_.back().idx;
+    overflow_.pop_back();
+    if (node(idx).state == State::kCancelled) {
+      free_node(idx);
+    } else {
+      insert(idx);
+    }
+  }
+  return true;
+}
+
+void EventQueue::cascade(int level, std::uint32_t slot_index) {
+  Slot& slot = far_[level][slot_index];
+  std::uint32_t h = slot.head;
+  slot.head = slot.tail = kNil;
+  clear_bit(far_bits_[level], slot_index);
+  // Re-bucketing in list order preserves the relative order of equal-time
+  // events (lists are appended in push order), which is what keeps FIFO
+  // ties exact across cascades.
+  while (h != kNil) {
+    const std::uint32_t next = node(h).next;
+    if (node(h).state == State::kCancelled) {
+      free_node(h);
+    } else {
+      insert(h);
+    }
+    h = next;
+  }
 }
 
 }  // namespace planck::sim

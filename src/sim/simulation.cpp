@@ -5,24 +5,22 @@ namespace planck::sim {
 void Simulation::run() {
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
-    Time when = 0;
-    auto cb = queue_.pop(&when);
-    assert(when >= now_);
-    now_ = when;
+    // The clock must read the event's time before the event runs; next_time
+    // memoizes the found event so run_top doesn't re-scan.
+    now_ = queue_.next_time();
     ++events_executed_;
-    cb();
+    queue_.run_top();
   }
 }
 
 bool Simulation::run_until(Time deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-    Time when = 0;
-    auto cb = queue_.pop(&when);
-    assert(when >= now_);
+  while (!stopped_ && !queue_.empty()) {
+    const Time when = queue_.next_time();
+    if (when > deadline) break;
     now_ = when;
     ++events_executed_;
-    cb();
+    queue_.run_top();
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
   return !queue_.empty();

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <utility>
 
@@ -11,9 +10,14 @@ namespace planck::sim {
 
 /// Discrete-event simulation driver. Owns the event queue and the clock.
 /// Single-threaded and fully deterministic: identical schedules produce
-/// identical runs.
+/// identical runs. Events at the same timestamp run in schedule order
+/// (FIFO), regardless of which schedule_* flavor created them — typed and
+/// type-erased events share one ordering.
 class Simulation {
  public:
+  using PacketFn = EventQueue::PacketFn;
+  using CallFn = EventQueue::CallFn;
+
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -32,8 +36,29 @@ class Simulation {
     return queue_.push(when, std::move(cb));
   }
 
-  /// Cancels a pending event. Must not be called for events that already
-  /// ran (use the Timer helper, which tracks this).
+  /// Typed fast path for packet delivery (see EventQueue::push_packet): the
+  /// packet is copied once into a pooled slab slot and delivered in place.
+  EventId schedule_packet(Duration delay, void* target, std::uint32_t aux,
+                          PacketFn fn, const net::Packet& packet) {
+    return queue_.push_packet(now_ + (delay > 0 ? delay : 0), target, aux, fn,
+                              packet);
+  }
+
+  /// Typed fast path for small high-frequency events (port drains etc.):
+  /// at `when`, `fn(target, aux)` runs. No type erasure, no closure copy.
+  EventId schedule_call_at(Time when, void* target, std::uint32_t aux,
+                           CallFn fn) {
+    if (when < now_) when = now_;
+    return queue_.push_call(when, target, aux, fn);
+  }
+
+  /// schedule_call_at with a relative delay (negative clamps to now).
+  EventId schedule_call(Duration delay, void* target, std::uint32_t aux,
+                        CallFn fn) {
+    return schedule_call_at(now_ + (delay > 0 ? delay : 0), target, aux, fn);
+  }
+
+  /// Cancels a pending event. O(1); safe no-op if the event already ran.
   void cancel(EventId id) { queue_.cancel(id); }
 
   /// Runs until the queue drains or stop() is called.
@@ -49,7 +74,7 @@ class Simulation {
   /// Number of events executed so far (for tests and progress reporting).
   std::uint64_t events_executed() const { return events_executed_; }
 
-  bool pending() { return !queue_.empty(); }
+  bool pending() const { return !queue_.empty(); }
 
  private:
   EventQueue queue_;

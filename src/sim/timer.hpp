@@ -6,16 +6,16 @@
 
 namespace planck::sim {
 
-/// A restartable one-shot timer bound to a Simulation. Handles the
-/// cancel-before-reschedule bookkeeping that protocols (TCP RTO, flow
-/// timeouts, poll intervals) need, and guarantees EventQueue's precondition
-/// that only pending events are cancelled.
+/// A restartable one-shot timer bound to a Simulation, for protocols (TCP
+/// RTO, flow timeouts, poll intervals) that re-arm constantly. Purely a
+/// convenience/performance helper: cancel() on the engine is a safe no-op
+/// for already-fired ids, so nothing here exists for correctness.
 ///
 /// Rescheduling is lazy: a timer that is pushed *later* (the common case —
 /// a TCP RTO restarted on every ACK) just updates the deadline, and the
 /// already-queued event re-arms itself when it fires early. Only moving a
 /// deadline *earlier* cancels the queued event. This keeps the per-ACK
-/// cost at zero heap operations.
+/// cost at zero scheduler operations.
 class Timer {
  public:
   Timer(Simulation& simulation, EventQueue::Callback on_fire)
@@ -53,8 +53,7 @@ class Timer {
   void arm(Time when) {
     queued_at_ = when;
     id_ = sim_.schedule_at(when, [this] {
-      id_ = 0;
-      if (deadline_ < 0) return;  // cancelled while queued (tombstone raced)
+      id_ = 0;  // consumed; schedule() must not take the lazy path now
       if (deadline_ > sim_.now()) {
         arm(deadline_);  // deadline was pushed back: re-arm
         return;
@@ -66,9 +65,9 @@ class Timer {
 
   Simulation& sim_;
   EventQueue::Callback on_fire_;
-  EventId id_ = 0;
+  EventId id_ = 0;       // nonzero iff an event is queued
   Time queued_at_ = 0;
-  Time deadline_ = -1;  // -1 = not pending
+  Time deadline_ = -1;   // -1 = not pending
 };
 
 }  // namespace planck::sim

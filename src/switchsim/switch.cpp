@@ -116,13 +116,18 @@ void Switch::handle_packet(const net::Packet& packet, int in_port) {
     net::Packet replica = pkt;
     replica.dst_mac = routing_mac;
     if (config_.mirror_jitter > 0) {
-      // Egress-pipeline arbitration jitter; see SwitchConfig.
+      // Egress-pipeline arbitration jitter; see SwitchConfig. Typed event:
+      // the replica is pooled in the scheduler, the monitor port rides in
+      // the aux word.
       const auto delay = static_cast<sim::Duration>(rng_.below(
           static_cast<std::uint64_t>(config_.mirror_jitter)));
-      const int port = monitor_port_;
-      sim_.schedule(delay, [this, port, replica] {
-        enqueue(port, replica, /*is_mirror=*/true);
-      });
+      sim_.schedule_packet(
+          delay, this, static_cast<std::uint32_t>(monitor_port_),
+          [](void* self, std::uint32_t port, const net::Packet& pkt) {
+            static_cast<Switch*>(self)->enqueue(static_cast<int>(port), pkt,
+                                                /*is_mirror=*/true);
+          },
+          replica);
     } else {
       enqueue(monitor_port_, replica, /*is_mirror=*/true);
     }
@@ -167,7 +172,11 @@ void Switch::start_tx(int port) {
   p.draining = true;
   const net::Packet& pkt = p.queue.front();
   const sim::Time done = p.link->transmit(pkt);
-  sim_.schedule_at(done, [this, port] { finish_tx(port); });
+  sim_.schedule_call_at(done, this, static_cast<std::uint32_t>(port),
+                        [](void* self, std::uint32_t which) {
+                          static_cast<Switch*>(self)->finish_tx(
+                              static_cast<int>(which));
+                        });
 }
 
 void Switch::finish_tx(int port) {

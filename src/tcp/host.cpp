@@ -99,9 +99,10 @@ void Host::start_tx() {
                            static_cast<std::uint64_t>(
                                config_.sender_stall_max -
                                config_.sender_stall_min + 1)));
-    sim_.schedule(stall, [this] {
-      nic_draining_ = false;
-      if (!nic_queue_.empty()) start_tx();
+    sim_.schedule_call(stall, this, 0, [](void* self, std::uint32_t) {
+      auto* host = static_cast<Host*>(self);
+      host->nic_draining_ = false;
+      if (!host->nic_queue_.empty()) host->start_tx();
     });
     return;
   }
@@ -110,7 +111,9 @@ void Host::start_tx() {
   if (tx_hook_) tx_hook_(pkt);
   train_bytes_ += pkt.frame_size();
   const sim::Time done = link_->transmit(pkt);
-  sim_.schedule_at(done, [this] { finish_tx(); });
+  sim_.schedule_call_at(done, this, 0, [](void* self, std::uint32_t) {
+    static_cast<Host*>(self)->finish_tx();
+  });
 }
 
 void Host::finish_tx() {

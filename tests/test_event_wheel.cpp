@@ -1,0 +1,226 @@
+// Property test for the timing-wheel scheduler: drive EventQueue and a
+// naive sorted-vector reference model through randomized push / cancel /
+// pop / run_until interleavings and require identical pop order — including
+// FIFO tie-breaks at equal timestamps. Horizons are drawn from every wheel
+// level (near, the three far wheels, and the overflow heap) so cascades and
+// page advances are exercised, and pushes use all three event kinds so the
+// typed paths share the ordering proof.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace planck::sim {
+namespace {
+
+/// The reference model: a flat vector popped by linear scan for the
+/// smallest (when, push-order). Obviously correct, O(n) per op.
+class ReferenceQueue {
+ public:
+  std::uint64_t push(Time when, int tag) {
+    if (when < floor_) when = floor_;  // same clamp as the wheel
+    events_.push_back(Ref{when, next_order_++, tag, /*cancelled=*/false});
+    return events_.back().order;
+  }
+
+  void cancel(std::uint64_t order) {
+    for (Ref& r : events_) {
+      if (r.order == order) r.cancelled = true;
+    }
+  }
+
+  bool empty() const {
+    return std::none_of(events_.begin(), events_.end(),
+                        [](const Ref& r) { return !r.cancelled; });
+  }
+
+  Time next_time() const {
+    const Ref* best = find_min();
+    return best->when;
+  }
+
+  /// Pops the earliest live event; returns its (when, tag).
+  std::pair<Time, int> pop() {
+    Ref* best = const_cast<Ref*>(find_min());
+    const std::pair<Time, int> out{best->when, best->tag};
+    floor_ = best->when;
+    best->cancelled = true;  // consumed
+    return out;
+  }
+
+  void set_floor(Time t) {
+    if (t > floor_) floor_ = t;
+  }
+
+ private:
+  struct Ref {
+    Time when;
+    std::uint64_t order;
+    int tag;
+    bool cancelled;
+  };
+
+  const Ref* find_min() const {
+    const Ref* best = nullptr;
+    for (const Ref& r : events_) {
+      if (r.cancelled) continue;
+      if (best == nullptr || r.when < best->when ||
+          (r.when == best->when && r.order < best->order)) {
+        best = &r;
+      }
+    }
+    return best;
+  }
+
+  std::vector<Ref> events_;
+  std::uint64_t next_order_ = 1;
+  Time floor_ = 0;
+};
+
+/// One offset drawn from a horizon class chosen to hit a specific wheel
+/// level: same-tick, near wheel, each far wheel, and the overflow heap.
+Duration random_offset(Rng& rng) {
+  switch (rng.below(6)) {
+    case 0: return 0;                                            // same ns
+    case 1: return static_cast<Duration>(rng.below(8192));       // near
+    case 2: return static_cast<Duration>(rng.below(1u << 21));   // level 1
+    case 3: return static_cast<Duration>(rng.below(1u << 29));   // level 2
+    case 4: return static_cast<Duration>(rng.below(1ull << 37)); // level 3
+    default:
+      return static_cast<Duration>(rng.below(1ull << 40));       // overflow
+  }
+}
+
+void run_property_trial(std::uint64_t seed, int ops) {
+  EventQueue wheel;
+  ReferenceQueue model;
+  Rng rng(seed);
+
+  Time now = 0;
+  int next_tag = 0;
+  std::vector<int> wheel_tags;  // filled by executed events
+  std::vector<std::pair<EventId, std::uint64_t>> live;  // (wheel id, model id)
+
+  net::Packet pkt;
+  pkt.payload = 64;
+  const auto call_fn = [](void* target, std::uint32_t aux) {
+    static_cast<std::vector<int>*>(target)->push_back(static_cast<int>(aux));
+  };
+  const auto packet_fn = [](void* target, std::uint32_t aux,
+                            const net::Packet&) {
+    static_cast<std::vector<int>*>(target)->push_back(static_cast<int>(aux));
+  };
+
+  const auto push_one = [&] {
+    const Time when = now + random_offset(rng);
+    const int tag = next_tag++;
+    EventId id = 0;
+    switch (rng.below(3)) {
+      case 0:
+        id = wheel.push(when, [&wheel_tags, tag] { wheel_tags.push_back(tag); });
+        break;
+      case 1:
+        id = wheel.push_call(when, &wheel_tags,
+                             static_cast<std::uint32_t>(tag), call_fn);
+        break;
+      default:
+        id = wheel.push_packet(when, &wheel_tags,
+                               static_cast<std::uint32_t>(tag), packet_fn,
+                               pkt);
+        break;
+    }
+    live.emplace_back(id, model.push(when, tag));
+  };
+
+  const auto pop_one = [&] {
+    ASSERT_FALSE(wheel.empty());
+    ASSERT_FALSE(model.empty());
+    ASSERT_EQ(wheel.next_time(), model.next_time());
+    const std::size_t before = wheel_tags.size();
+    Time when = 0;
+    wheel.run_top(&when);
+    const auto [ref_when, ref_tag] = model.pop();
+    ASSERT_EQ(when, ref_when);
+    ASSERT_EQ(wheel_tags.size(), before + 1);
+    ASSERT_EQ(wheel_tags.back(), ref_tag);
+    now = when;
+  };
+
+  for (int op = 0; op < ops; ++op) {
+    if (::testing::Test::HasFatalFailure()) return;
+    const std::uint64_t r = rng.below(100);
+    if (r < 55) {
+      push_one();
+    } else if (r < 70 && !live.empty()) {
+      // Cancel a random id — possibly one that already fired, which must be
+      // a safe no-op on the wheel and is modeled as cancel-of-consumed.
+      const std::size_t pick = rng.below(live.size());
+      wheel.cancel(live[pick].first);
+      model.cancel(live[pick].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (r < 90) {
+      if (!wheel.empty()) pop_one();
+      ASSERT_EQ(wheel.empty(), model.empty());
+    } else {
+      // run_until: drain everything up to a deadline, then advance the
+      // clock floor past it (subsequent pushes clamp identically).
+      const Time deadline = now + static_cast<Duration>(rng.below(1u << 22));
+      while (!wheel.empty() && wheel.next_time() <= deadline) {
+        pop_one();
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      ASSERT_EQ(wheel.empty(), model.empty());
+      now = deadline;
+      model.set_floor(deadline);
+    }
+  }
+  // Drain to the end: the full remaining order must match.
+  while (!wheel.empty()) {
+    pop_one();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  ASSERT_TRUE(model.empty());
+  ASSERT_EQ(wheel.size(), 0u);
+}
+
+class EventWheelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventWheelProperty, MatchesReferenceModel) {
+  run_property_trial(GetParam(), /*ops=*/4000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventWheelProperty,
+                         ::testing::Values(1u, 42u, 20260805u));
+
+// A directed FIFO burst: many events on one nanosecond, across kinds and
+// cascade boundaries, must drain in exact push order.
+TEST(EventWheelProperty, MassiveTieBreakIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  const Time when = milliseconds(3);  // lands in a far wheel, cascades down
+  const auto call_fn = [](void* target, std::uint32_t aux) {
+    static_cast<std::vector<int>*>(target)->push_back(static_cast<int>(aux));
+  };
+  for (int i = 0; i < 5000; ++i) {
+    if (i % 2 == 0) {
+      q.push_call(when, &order, static_cast<std::uint32_t>(i), call_fn);
+    } else {
+      q.push(when, [&order, i] { order.push_back(i); });
+    }
+  }
+  while (!q.empty()) q.run_top();
+  ASSERT_EQ(order.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace planck::sim

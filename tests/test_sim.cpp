@@ -124,7 +124,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.push(30, [&] { order.push_back(3); });
   q.push(10, [&] { order.push_back(1); });
   q.push(20, [&] { order.push_back(2); });
-  while (!q.empty()) q.pop()();
+  while (!q.empty()) q.run_top();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -134,7 +134,7 @@ TEST(EventQueue, SameTimeIsFifo) {
   for (int i = 0; i < 10; ++i) {
     q.push(5, [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) q.pop()();
+  while (!q.empty()) q.run_top();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
@@ -142,7 +142,7 @@ TEST(EventQueue, ReportsPopTime) {
   EventQueue q;
   q.push(123, [] {});
   Time when = 0;
-  q.pop(&when)();
+  q.run_top(&when);
   EXPECT_EQ(when, 123);
 }
 
@@ -153,7 +153,7 @@ TEST(EventQueue, CancelSkipsEvent) {
   const EventId id = q.push(2, [&] { ran += 100; });
   q.push(3, [&] { ++ran; });
   q.cancel(id);
-  while (!q.empty()) q.pop()();
+  while (!q.empty()) q.run_top();
   EXPECT_EQ(ran, 2);
 }
 
@@ -181,6 +181,129 @@ TEST(EventQueue, InvalidCancelIsIgnored) {
   EXPECT_FALSE(q.empty());
 }
 
+TEST(EventQueue, CancelAfterFireIsSafeNoOp) {
+  // Generation-tagged ids: cancelling an id whose event already executed
+  // must not disturb anything — including an unrelated event that now
+  // occupies the recycled slab slot.
+  EventQueue q;
+  int ran = 0;
+  const EventId first = q.push(1, [&] { ++ran; });
+  q.run_top();
+  EXPECT_EQ(ran, 1);
+  const EventId second = q.push(2, [&] { ran += 10; });  // reuses the slot
+  q.cancel(first);   // stale id: no-op, must not kill `second`
+  q.cancel(first);   // idempotent
+  ASSERT_FALSE(q.empty());
+  q.run_top();
+  EXPECT_EQ(ran, 11);
+  q.cancel(second);  // also already fired: no-op
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelledCallbackIsDestroyedPromptly) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> weak = token;
+  EventQueue q;
+  const EventId id = q.push(100, [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(weak.expired());
+  q.cancel(id);
+  EXPECT_TRUE(weak.expired());  // captured state released at cancel time
+}
+
+TEST(EventQueue, TypedEventsInterleaveFifoWithCallbacks) {
+  // All three event kinds share one (time, push-order) ordering.
+  EventQueue q;
+  std::vector<int> order;
+  const auto call_fn = [](void* target, std::uint32_t aux) {
+    static_cast<std::vector<int>*>(target)->push_back(static_cast<int>(aux));
+  };
+  const auto packet_fn = [](void* target, std::uint32_t aux,
+                            const net::Packet& pkt) {
+    EXPECT_EQ(pkt.payload, 1460u);
+    static_cast<std::vector<int>*>(target)->push_back(static_cast<int>(aux));
+  };
+  net::Packet pkt;
+  pkt.payload = 1460;
+  q.push(7, [&order] { order.push_back(0); });
+  q.push_call(7, &order, 1, call_fn);
+  q.push_packet(7, &order, 2, packet_fn, pkt);
+  q.push(7, [&order] { order.push_back(3); });
+  q.push_packet(5, &order, 4, packet_fn, pkt);
+  while (!q.empty()) q.run_top();
+  EXPECT_EQ(order, (std::vector<int>{4, 0, 1, 2, 3}));
+}
+
+TEST(EventQueue, TypedEventsAreCancellable) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto call_fn = [](void* target, std::uint32_t aux) {
+    static_cast<std::vector<int>*>(target)->push_back(static_cast<int>(aux));
+  };
+  q.push_call(1, &order, 1, call_fn);
+  const EventId id = q.push_call(2, &order, 2, call_fn);
+  q.push_call(3, &order, 3, call_fn);
+  q.cancel(id);
+  while (!q.empty()) q.run_top();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, FarHorizonEventsPopInOrder) {
+  // Exercise every wheel level plus the overflow heap: delays from a few ns
+  // to minutes, pushed out of order.
+  EventQueue q;
+  std::vector<Time> popped;
+  const Time horizons[] = {
+      3,                       // near wheel
+      microseconds(50),        // level 1
+      milliseconds(7),         // level 2
+      milliseconds(900),       // level 3
+      seconds(20),             // level 3
+      seconds(200),            // overflow heap
+      seconds(100) + 1,        // overflow heap (same far page)
+      5,
+      microseconds(50),        // FIFO tie at a far horizon
+  };
+  for (const Time t : horizons) q.push(t, [] {});
+  while (!q.empty()) {
+    Time when = 0;
+    q.run_top(&when);
+    popped.push_back(when);
+  }
+  ASSERT_EQ(popped.size(), std::size(horizons));
+  EXPECT_TRUE(std::is_sorted(popped.begin(), popped.end()));
+  EXPECT_EQ(popped.front(), 3);
+  EXPECT_EQ(popped.back(), seconds(200));
+}
+
+TEST(EventQueue, CancelAcrossWheelLevels) {
+  EventQueue q;
+  int ran = 0;
+  std::vector<EventId> doomed;
+  for (const Time t : {Time{10}, microseconds(100), milliseconds(20),
+                       seconds(2), seconds(300)}) {
+    doomed.push_back(q.push(t, [&] { ran += 1000; }));
+    q.push(t + 1, [&] { ++ran; });
+  }
+  for (const EventId id : doomed) q.cancel(id);
+  while (!q.empty()) q.run_top();
+  EXPECT_EQ(ran, 5);
+}
+
+TEST(EventQueue, ReentrantPushDuringExecution) {
+  // An executing event scheduling more events must not invalidate the
+  // in-place execution (the slab grows under it).
+  EventQueue q;
+  int total = 0;
+  q.push(1, [&] {
+    for (int i = 0; i < 2000; ++i) {
+      q.push(2 + i, [&total] { ++total; });
+    }
+  });
+  while (!q.empty()) q.run_top();
+  EXPECT_EQ(total, 2000);
+}
+
 TEST(EventQueue, StressRandomOrderPopsSorted) {
   EventQueue q;
   Rng rng(99);
@@ -190,7 +313,7 @@ TEST(EventQueue, StressRandomOrderPopsSorted) {
   }
   while (!q.empty()) {
     Time when = 0;
-    q.pop(&when)();
+    q.run_top(&when);
     popped.push_back(when);
   }
   ASSERT_EQ(popped.size(), 2000u);
@@ -435,7 +558,7 @@ TEST_P(EventQueueFifoTest, StableWithinTimestamp) {
     const int seq = counters[static_cast<std::size_t>(t)]++;
     q.push(t, [&order, t, seq] { order.emplace_back(t, seq); });
   }
-  while (!q.empty()) q.pop()();
+  while (!q.empty()) q.run_top();
   std::vector<int> next(static_cast<std::size_t>(groups), 0);
   for (const auto& [t, seq] : order) {
     EXPECT_EQ(seq, next[static_cast<std::size_t>(t)]++);
