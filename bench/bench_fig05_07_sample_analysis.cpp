@@ -76,6 +76,8 @@ SampleAnalysis run_case(int flows, sim::Duration duration) {
       current = key;
     }
     ++current_burst;
+    // Independent per-flow counter bumps; no ordering leaves this loop.
+    // planck-lint: allow(unordered-iteration) — analysis-side only
     for (auto& [k, fs] : table) {
       if (!(k == key)) ++fs.since_last_burst;
     }

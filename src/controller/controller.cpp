@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -36,20 +35,25 @@ void Controller::attach_host(int host_index, tcp::Host* host) {
 }
 
 void Controller::install_routes() {
-  install_switch_rules();
-  push_route_views();
-  install_host_arp();
-  for (auto& [node, att] : switches_) {
-    if (att.monitor_port >= 0) att.sw->set_mirroring(att.monitor_port);
-  }
-
-  // Reproducible iteration orders for the failure plane.
+  // Reproducible iteration orders, built first: every traversal of the
+  // unordered switch/collector maps below (and in the failure plane) goes
+  // through these sorted key lists.
   sorted_switch_nodes_.clear();
+  // planck-lint: allow(unordered-iteration) — collect-then-sort
   for (const auto& [node, att] : switches_) sorted_switch_nodes_.push_back(node);
   std::sort(sorted_switch_nodes_.begin(), sorted_switch_nodes_.end());
   sorted_collector_nodes_.clear();
+  // planck-lint: allow(unordered-iteration) — collect-then-sort
   for (const auto& [node, c] : collectors_) sorted_collector_nodes_.push_back(node);
   std::sort(sorted_collector_nodes_.begin(), sorted_collector_nodes_.end());
+
+  install_switch_rules();
+  push_route_views();
+  install_host_arp();
+  for (int node : sorted_switch_nodes_) {
+    SwitchAttachment& att = switches_.at(node);
+    if (att.monitor_port >= 0) att.sw->set_mirroring(att.monitor_port);
+  }
 
   if (config_.heartbeat_interval > 0 && !switches_.empty()) {
     heartbeat_timer_.schedule(config_.heartbeat_interval);
@@ -100,7 +104,8 @@ void Controller::push_route_views() {
       }
     }
   }
-  for (auto& [node, collector] : collectors_) {
+  for (int node : sorted_collector_nodes_) {
+    core::Collector* collector = collectors_.at(node);
     collector->update_route_view(views[node]);
     for (int port = 0; port < graph_.num_ports(node); ++port) {
       if (graph_.wired(node, port)) {
@@ -287,10 +292,12 @@ void Controller::failover_dead_paths() {
   // equipment's own collector knew about stay stuck until restore — the
   // monitoring plane shares fate with the network, as in the paper.
   std::unordered_map<net::FlowKey, int, net::FlowKeyHash> candidates;
+  // planck-lint: allow(unordered-iteration) — collect-then-sort below
   for (const auto& [key, tree] : tree_assignment_) candidates.emplace(key, tree);
   for (int node : sorted_collector_nodes_) {
     const core::Collector* collector = collectors_.at(node);
     if (!collector->online()) continue;
+    // planck-lint: allow(unordered-iteration) — collect-then-sort below
     for (const auto& [key, rec] : collector->flow_table().flows()) {
       candidates.emplace(key, tree_of(key));
     }
@@ -299,12 +306,7 @@ void Controller::failover_dead_paths() {
   std::vector<std::pair<net::FlowKey, int>> ordered(candidates.begin(),
                                                     candidates.end());
   std::sort(ordered.begin(), ordered.end(),
-            [](const auto& a, const auto& b) {
-              return std::tie(a.first.src_ip, a.first.dst_ip,
-                              a.first.src_port, a.first.dst_port) <
-                     std::tie(b.first.src_ip, b.first.dst_ip,
-                              b.first.src_port, b.first.dst_port);
-            });
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [key, tree] : ordered) {
     const int src = net::host_id_of_ip(key.src_ip);
     const int dst = net::host_id_of_ip(key.dst_ip);
@@ -320,9 +322,16 @@ void Controller::failover_dead_paths() {
 void Controller::subscribe_congestion(CongestionHandler handler) {
   congestion_handlers_.push_back(std::move(handler));
   if (congestion_handlers_.size() == 1) {
-    // First subscriber: hook every collector, relaying with one
-    // control-channel latency.
-    for (auto& [node, collector] : collectors_) {
+    // First subscriber: hook every collector in node order, relaying with
+    // one control-channel latency. (Computed locally: applications may
+    // subscribe before install_routes builds the sorted lists.)
+    std::vector<int> nodes;
+    nodes.reserve(collectors_.size());
+    // planck-lint: allow(unordered-iteration) — collect-then-sort
+    for (const auto& [node, collector] : collectors_) nodes.push_back(node);
+    std::sort(nodes.begin(), nodes.end());
+    for (int node : nodes) {
+      core::Collector* collector = collectors_.at(node);
       collector->subscribe_congestion([this](const core::CongestionEvent& e) {
         channel_.send([this, e] {
           for (const auto& h : congestion_handlers_) h(e);

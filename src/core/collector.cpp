@@ -84,12 +84,16 @@ double Collector::link_utilization_bps(int out_port) const {
 std::vector<FlowRate> Collector::flows_on_link(int out_port) const {
   std::vector<FlowRate> out;
   if (!online_) return out;
+  // planck-lint: allow(unordered-iteration) — collect-then-sort below
   for (const auto& [key, rec] : flows_.flows()) {
     if (rec.out_port != out_port || rec.contributing_bps <= 0.0) continue;
     out.push_back(FlowRate{key, rec.src_mac, rec.dst_mac, rec.rate_bps()});
   }
+  // Rate-descending with a key tiebreak: congestion events annotate flows
+  // in this order and TE consumes them in it, so ties must be stable.
   std::sort(out.begin(), out.end(), [](const FlowRate& a, const FlowRate& b) {
-    return a.rate_bps > b.rate_bps;
+    if (a.rate_bps != b.rate_bps) return a.rate_bps > b.rate_bps;
+    return a.key < b.key;
   });
   return out;
 }
@@ -120,8 +124,18 @@ void Collector::maybe_fire_event(int out_port) {
 void Collector::sweep() {
   const sim::Time now = sim_.now();
 
+  // Key-ordered traversal: the stale/evicted records subtract from the
+  // floating-point utilization aggregates, and FP subtraction is not
+  // associative — hash order must not pick the summation order.
+  std::vector<net::FlowKey> keys;
+  keys.reserve(flows_.size());
+  // planck-lint: allow(unordered-iteration) — collect-then-sort
+  for (const auto& [key, rec] : flows_.flows()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
   // Stale rate estimates stop counting toward utilization.
-  for (auto& [key, rec] : flows_.mutable_flows()) {
+  for (const net::FlowKey& key : keys) {
+    FlowRecord& rec = *flows_.find(key);
     if (rec.contributing_bps > 0.0 &&
         now - rec.estimator.estimated_at() > config_.rate_staleness) {
       if (rec.out_port >= 0) util_bps_[rec.out_port] -= rec.contributing_bps;
@@ -129,7 +143,7 @@ void Collector::sweep() {
     }
   }
 
-  // Evict idle flows entirely.
+  // Evict idle flows entirely (evict_idle returns records in key order).
   for (const FlowRecord& rec :
        flows_.evict_idle(now - config_.flow_idle_timeout)) {
     if (rec.contributing_bps > 0.0 && rec.out_port >= 0) {

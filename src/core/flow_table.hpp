@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -66,9 +67,11 @@ class FlowTable {
   }
 
   /// Removes flows idle since before `cutoff`; returns the evicted records
-  /// so the caller can unwind any aggregates.
+  /// in flow-key order so the caller unwinds any aggregates (FP sums in
+  /// particular) in a reproducible sequence.
   std::vector<FlowRecord> evict_idle(sim::Time cutoff) {
     std::vector<FlowRecord> evicted;
+    // planck-lint: allow(unordered-iteration) — collect-then-sort
     for (auto it = flows_.begin(); it != flows_.end();) {
       if (it->second.last_seen < cutoff) {
         evicted.push_back(it->second);
@@ -77,6 +80,10 @@ class FlowTable {
         ++it;
       }
     }
+    std::sort(evicted.begin(), evicted.end(),
+              [](const FlowRecord& a, const FlowRecord& b) {
+                return a.key < b.key;
+              });
     return evicted;
   }
 

@@ -53,6 +53,18 @@ struct FlowKey {
 
   friend bool operator==(const FlowKey&, const FlowKey&) = default;
 
+  /// Lexicographic order on the 5-tuple. The canonical tiebreak whenever
+  /// flows collected from an unordered container must be processed in a
+  /// reproducible order (same-seed replay depends on it).
+  friend bool operator<(const FlowKey& a, const FlowKey& b) {
+    if (a.src_ip != b.src_ip) return a.src_ip < b.src_ip;
+    if (a.dst_ip != b.dst_ip) return a.dst_ip < b.dst_ip;
+    if (a.src_port != b.src_port) return a.src_port < b.src_port;
+    if (a.dst_port != b.dst_port) return a.dst_port < b.dst_port;
+    return static_cast<std::uint8_t>(a.proto) <
+           static_cast<std::uint8_t>(b.proto);
+  }
+
   /// The reverse direction of this flow (for matching ACKs).
   FlowKey reversed() const {
     return FlowKey{dst_ip, src_ip, dst_port, src_port, proto};

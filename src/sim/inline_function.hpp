@@ -1,5 +1,12 @@
 #pragma once
 
+// planck-lint: allow-file(raw-cast) — audited 2026-08: every
+// reinterpret_cast below reinterprets the aligned inline buffer as the
+// erased callable type (or as the heap pointer to it), always paired with
+// placement-new and std::launder. std::bit_cast cannot express reuse of
+// storage by a new object, and a typed accessor would only move the same
+// cast behind a name. No const_cast; no cast crosses an object boundary.
+
 #include <cstddef>
 #include <new>
 #include <type_traits>

@@ -9,6 +9,7 @@ void Simulation::run() {
     // memoizes the found event so run_top doesn't re-scan.
     now_ = queue_.next_time();
     ++events_executed_;
+    fold_digest();
     queue_.run_top();
   }
 }
@@ -20,6 +21,7 @@ bool Simulation::run_until(Time deadline) {
     if (when > deadline) break;
     now_ = when;
     ++events_executed_;
+    fold_digest();
     queue_.run_top();
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;

@@ -74,13 +74,32 @@ class Simulation {
   /// Number of events executed so far (for tests and progress reporting).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Rolling FNV-1a digest of the executed event stream: folds in each
+  /// event's timestamp and the live queue size at pop time. Two same-seed
+  /// runs must report identical digests at every point; any divergence in
+  /// event order, timing, or scheduling volume (the classic symptoms of
+  /// unordered-container iteration or unseeded randomness leaking into the
+  /// schedule) perturbs it. This is the runtime backstop behind
+  /// tools/planck_lint (see DESIGN.md §7); it costs two multiplies per
+  /// event, so it stays on in every build.
+  std::uint64_t determinism_digest() const { return digest_; }
+
   bool pending() const { return !queue_.empty(); }
 
  private:
+  void fold_digest() {
+    digest_ = (digest_ ^ static_cast<std::uint64_t>(now_)) * kFnvPrime;
+    digest_ = (digest_ ^ queue_.size()) * kFnvPrime;
+  }
+
+  static constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
   EventQueue queue_;
   Time now_ = 0;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t digest_ = kFnvOffset;
 };
 
 }  // namespace planck::sim

@@ -123,8 +123,9 @@ void Switch::handle_packet(const net::Packet& packet, int in_port) {
           static_cast<std::uint64_t>(config_.mirror_jitter)));
       sim_.schedule_packet(
           delay, this, static_cast<std::uint32_t>(monitor_port_),
-          [](void* self, std::uint32_t port, const net::Packet& pkt) {
-            static_cast<Switch*>(self)->enqueue(static_cast<int>(port), pkt,
+          [](void* self, std::uint32_t port, const net::Packet& mirrored) {
+            static_cast<Switch*>(self)->enqueue(static_cast<int>(port),
+                                                mirrored,
                                                 /*is_mirror=*/true);
           },
           replica);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <tuple>
 #include <vector>
 
 #include "net/addresses.hpp"
@@ -105,12 +104,9 @@ void PlanckTe::handle_link_down() {
   // Deterministic iteration: the flow map is unordered.
   std::vector<net::FlowKey> keys;
   keys.reserve(state_.size());
+  // planck-lint: allow(unordered-iteration) — collect-then-sort
   for (const auto& [key, flow] : state_.flows()) keys.push_back(key);
-  std::sort(keys.begin(), keys.end(),
-            [](const net::FlowKey& a, const net::FlowKey& b) {
-              return std::tie(a.src_ip, a.dst_ip, a.src_port, a.dst_port) <
-                     std::tie(b.src_ip, b.dst_ip, b.src_port, b.dst_port);
-            });
+  std::sort(keys.begin(), keys.end());
   const controller::Routing& routing = controller_.routing();
   for (const net::FlowKey& key : keys) {
     KnownFlow& flow = state_.mutable_flows().at(key);

@@ -30,14 +30,25 @@ void PollTe::poll() {
   // are counted at several switches; take the maximum (its ingress count).
   std::unordered_map<net::FlowKey, std::uint64_t, net::FlowKeyHash> bytes;
   for (const auto& [node, sw] : switches_) {
+    // planck-lint: allow(unordered-iteration) — max-fold is commutative
     for (const auto& [key, counters] : sw->flow_counters()) {
       auto& b = bytes[key];
       b = std::max(b, counters.bytes);
     }
   }
 
+  // Deterministic traversal of the snapshot: the order of `flows` survives
+  // all the way into placement (and its reroute RPCs), so hash order must
+  // not leak into it.
+  std::vector<net::FlowKey> keys;
+  keys.reserve(bytes.size());
+  // planck-lint: allow(unordered-iteration) — collect-then-sort
+  for (const auto& [key, b] : bytes) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
   std::vector<KnownFlow> flows;
-  for (const auto& [key, b] : bytes) {
+  for (const net::FlowKey& key : keys) {
+    const std::uint64_t b = bytes.at(key);
     const std::uint64_t prev = prev_bytes_[key];
     prev_bytes_[key] = b;
     if (b <= prev || interval_s <= 0.0) continue;
@@ -176,10 +187,12 @@ void PollTe::place_flows(std::vector<KnownFlow> flows) {
   }
 
   // Global first fit: consider elephants in descending demand; everything
-  // else stays put but still loads its current path.
+  // else stays put but still loads its current path. Equal demands break
+  // ties on the flow key so placement order never depends on input order.
   std::sort(flows.begin(), flows.end(),
             [](const KnownFlow& a, const KnownFlow& b) {
-              return a.rate_bps > b.rate_bps;
+              if (a.rate_bps != b.rate_bps) return a.rate_bps > b.rate_bps;
+              return a.key < b.key;
             });
 
   std::unordered_map<net::DirectedLink, double, net::DirectedLinkHash> loads;

@@ -1,5 +1,6 @@
 #include "workload/testbed.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace planck::workload {
@@ -64,7 +65,13 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
   for (int h = 0; h < num_hosts(); ++h) {
     controller_->attach_host(h, hosts_[static_cast<std::size_t>(h)].get());
   }
-  for (const auto& [node, sw] : switch_by_node_) {
+  // Node-index order, not hash order: collector construction order decides
+  // link_rng_ draws (monitor-cable skew) and controller attachment order,
+  // all of which must reproduce across runs.
+  for (int node = 0; node < graph_.num_nodes(); ++node) {
+    const auto sw_it = switch_by_node_.find(node);
+    if (sw_it == switch_by_node_.end()) continue;
+    switchsim::Switch* sw = sw_it->second;
     int monitor_port = -1;
     if (config.enable_planck) {
       monitor_port = graph_.num_ports(node);  // the extra port
@@ -140,7 +147,10 @@ net::Link* Testbed::make_link(std::int64_t rate_bps,
 std::vector<std::pair<int, switchsim::Switch*>> Testbed::switch_nodes() {
   std::vector<std::pair<int, switchsim::Switch*>> out;
   out.reserve(switch_by_node_.size());
+  // planck-lint: allow(unordered-iteration) — collect-then-sort
   for (const auto& [node, sw] : switch_by_node_) out.emplace_back(node, sw);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

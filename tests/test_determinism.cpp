@@ -1,8 +1,11 @@
 // Determinism regression: two runs with the same seed must produce
-// byte-identical event logs — once for the Figure-15 congestion/reroute
-// scenario, once for a scenario with a randomized fault schedule and a
-// lossy control channel. Any nondeterminism (unordered-map iteration,
-// unseeded randomness, wall-clock leakage) shows up here as a diff.
+// byte-identical event logs AND equal Simulation::determinism_digest()
+// values — for the Figure-15 congestion/reroute scenario, a scenario with
+// a randomized fault schedule and a lossy control channel, and a PlanckTE
+// failover forced by a scheduled link outage. Any nondeterminism
+// (unordered-map iteration, unseeded randomness, wall-clock leakage)
+// shows up here as a log diff or a digest mismatch; the digest covers the
+// full event stream, not just the logged milestones.
 
 #include <gtest/gtest.h>
 
@@ -23,10 +26,22 @@ namespace {
 using workload::Testbed;
 using workload::TestbedConfig;
 
+/// What a scenario run produces: the human-readable event log (compared
+/// byte-for-byte) and the engine's rolling digest over every executed
+/// event's (time, queue size) — the runtime backstop behind planck-lint
+/// (DESIGN.md §7). The log only samples observable milestones; the digest
+/// covers the entire event stream, so hash-order leaks that happen to
+/// produce the same milestones still get caught.
+struct RunResult {
+  std::string log;
+  std::uint64_t digest = 0;
+  std::uint64_t failovers = 0;
+};
+
 /// Figure-15-style scenario: two colliding elephants, Planck detects the
 /// congestion and TE moves one. Logs congestion events, reroutes, and flow
 /// completions.
-std::string run_fig15(std::uint64_t seed) {
+RunResult run_fig15(std::uint64_t seed) {
   sim::Simulation sim;
   const auto graph = net::make_fat_tree_16(
       net::LinkSpec{10'000'000'000, sim::microseconds(5)});
@@ -51,13 +66,13 @@ std::string run_fig15(std::uint64_t seed) {
   sim.run_until(sim::seconds(2));
   log << "reroutes " << te.reroutes() << "\n";
   log << "arp " << bed.controller().arp_reroutes() << "\n";
-  return log.str();
+  return RunResult{log.str(), sim.determinism_digest(), te.failovers()};
 }
 
 /// Faulted scenario: random link/switch/collector outages plus a lossy,
 /// occasionally-spiking control channel. Logs the applied fault schedule,
 /// the controller's link-status view, failovers, and completions.
-std::string run_faulted(std::uint64_t seed) {
+RunResult run_faulted(std::uint64_t seed) {
   sim::Simulation sim;
   const auto graph = net::make_fat_tree_16(
       net::LinkSpec{10'000'000'000, sim::microseconds(5)});
@@ -98,27 +113,83 @@ std::string run_faulted(std::uint64_t seed) {
   log << "rpc " << bed.controller().channel().rpc_calls() << " "
       << bed.controller().channel().rpc_retries() << " "
       << bed.controller().channel().rpc_failures() << "\n";
-  return log.str();
+  return RunResult{log.str(), sim.determinism_digest(),
+                   bed.controller().failovers() + te.failovers()};
+}
+
+/// PlanckTE failover scenario: colliding elephants teach TE the flows via
+/// real congestion notifications, then a scheduled outage kills flow 0's
+/// base-tree aggregation uplink mid-transfer, forcing TE (or the
+/// controller's route-view failover) to move the flow to a surviving
+/// shadow tree.
+RunResult run_te_failover(std::uint64_t seed) {
+  sim::Simulation sim;
+  const auto graph = net::make_fat_tree_16(
+      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+  TestbedConfig cfg;
+  cfg.seed = seed;
+  Testbed bed(sim, graph, cfg);
+  te::PlanckTe te(sim, bed.controller(), te::PlanckTeConfig{});
+  fault::FaultInjector inj(sim, bed, seed);
+
+  std::ostringstream log;
+  bed.controller().subscribe_link_status([&](int node, int port, bool up) {
+    log << "L " << sim.now() << " " << node << " " << port << " " << up
+        << "\n";
+  });
+  for (int i : {0, 1}) {
+    bed.host(i)->start_flow(net::host_ip(4 + i), 5001, 50 * 1024 * 1024,
+                            [&log, &sim, i](const tcp::FlowStats& s) {
+                              log << "F " << i << " " << s.completed_at
+                                  << " " << s.retransmits << "\n";
+                            });
+  }
+  const net::PathHop uplink = bed.controller().routing().path(0, 4, 0).hops[1];
+  inj.schedule_link_outage(sim::milliseconds(20), sim::milliseconds(200),
+                           uplink.switch_node, uplink.out_port);
+
+  sim.run_until(sim::milliseconds(500));
+  log << "te_failovers " << te.failovers() << "\n";
+  log << "failovers " << bed.controller().failovers() << "\n";
+  log << "reroutes " << te.reroutes() << "\n";
+  return RunResult{log.str(), sim.determinism_digest(),
+                   bed.controller().failovers() + te.failovers()};
 }
 
 TEST(Determinism, Fig15ScenarioIsByteIdenticalAcrossRuns) {
-  const std::string a = run_fig15(3);
-  const std::string b = run_fig15(3);
-  EXPECT_FALSE(a.empty());
-  EXPECT_EQ(a, b);
+  const RunResult a = run_fig15(3);
+  const RunResult b = run_fig15(3);
+  EXPECT_FALSE(a.log.empty());
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.digest, b.digest);
 }
 
 TEST(Determinism, Fig15DifferentSeedsDiverge) {
-  // Sanity check that the log actually captures seed-sensitive behaviour.
-  EXPECT_NE(run_fig15(3), run_fig15(4));
+  // Sanity check that the log and digest actually capture seed-sensitive
+  // behaviour.
+  const RunResult a = run_fig15(3);
+  const RunResult b = run_fig15(4);
+  EXPECT_NE(a.log, b.log);
+  EXPECT_NE(a.digest, b.digest);
 }
 
 TEST(Determinism, FaultedScenarioIsByteIdenticalAcrossRuns) {
-  const std::string a = run_faulted(11);
-  const std::string b = run_faulted(11);
-  EXPECT_FALSE(a.empty());
-  EXPECT_NE(a.find("H "), std::string::npos);  // faults actually fired
-  EXPECT_EQ(a, b);
+  const RunResult a = run_faulted(11);
+  const RunResult b = run_faulted(11);
+  EXPECT_FALSE(a.log.empty());
+  EXPECT_NE(a.log.find("H "), std::string::npos);  // faults actually fired
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(Determinism, TeFailoverScenarioIsByteIdenticalAcrossRuns) {
+  const RunResult a = run_te_failover(7);
+  const RunResult b = run_te_failover(7);
+  EXPECT_FALSE(a.log.empty());
+  EXPECT_NE(a.log.find("L "), std::string::npos);  // outage was observed
+  EXPECT_GE(a.failovers, 1u);                      // and forced a failover
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.digest, b.digest);
 }
 
 }  // namespace

@@ -41,14 +41,14 @@ class ReferenceQueue {
                         [](const Ref& r) { return !r.cancelled; });
   }
 
-  Time next_time() const {
+  Time next_time() {
     const Ref* best = find_min();
     return best->when;
   }
 
   /// Pops the earliest live event; returns its (when, tag).
   std::pair<Time, int> pop() {
-    Ref* best = const_cast<Ref*>(find_min());
+    Ref* best = find_min();
     const std::pair<Time, int> out{best->when, best->tag};
     floor_ = best->when;
     best->cancelled = true;  // consumed
@@ -67,9 +67,9 @@ class ReferenceQueue {
     bool cancelled;
   };
 
-  const Ref* find_min() const {
-    const Ref* best = nullptr;
-    for (const Ref& r : events_) {
+  Ref* find_min() {
+    Ref* best = nullptr;
+    for (Ref& r : events_) {
       if (r.cancelled) continue;
       if (best == nullptr || r.when < best->when ||
           (r.when == best->when && r.order < best->order)) {

@@ -156,7 +156,7 @@ TEST(Routing, AdjacentTreePairsAreLinkDisjointAcrossAggGroups) {
         int shared = 0;
         for (const auto& l :
              f.routing.links_on_path(f.routing.path(s, d, t + 2))) {
-          shared += links_a.count({l.node, l.port});
+          shared += static_cast<int>(links_a.count({l.node, l.port}));
         }
         // Only the final egress-switch -> host link can coincide.
         EXPECT_LE(shared, 1) << "s=" << s << " d=" << d << " t=" << t;

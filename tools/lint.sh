@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Single entry point for all static analysis (DESIGN.md §7).
+#
+#   tools/lint.sh            run everything available on this machine
+#   tools/lint.sh --fast     planck-lint only (no clang tooling, no build)
+#
+# Layers, in order:
+#   1. planck-lint selftest  — proves the analyzer still catches its seeded
+#                              violations before we trust a clean tree.
+#   2. planck-lint           — project-specific determinism/invariant checks.
+#   3. clang-tidy            — curated baseline in .clang-tidy (gated: skipped
+#                              with a notice when clang-tidy is not installed,
+#                              e.g. in the minimal dev container).
+#   4. clang-format          — style drift check, --dry-run only (gated the
+#                              same way; never rewrites files).
+#
+# Exit status is non-zero if any executed layer finds a problem. Skipped
+# layers (missing tools) do not fail the run — CI installs the tools, so
+# nothing is skipped there.
+
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    -h|--help)
+      sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "lint.sh: unknown argument '$arg' (try --help)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+status=0
+note() { printf '\n== %s ==\n' "$1"; }
+
+note "planck-lint selftest"
+python3 tools/planck_lint/planck_lint.py --selftest || status=1
+
+note "planck-lint"
+python3 tools/planck_lint/planck_lint.py || status=1
+
+if [ "$fast" -eq 1 ]; then
+  [ "$status" -eq 0 ] && echo "lint.sh: OK (fast mode)"
+  exit "$status"
+fi
+
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # clang-tidy needs a compilation database; build one if absent.
+  if [ ! -f build/compile_commands.json ]; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || status=1
+  fi
+  if [ -f build/compile_commands.json ]; then
+    # Headers are covered via the TUs that include them (HeaderFilterRegex
+    # in .clang-tidy).
+    find src -name '*.cpp' -print0 |
+      xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build --quiet || status=1
+  else
+    echo "lint.sh: could not generate compile_commands.json" >&2
+    status=1
+  fi
+else
+  echo "clang-tidy not installed — skipped (CI runs it; apt-get install clang-tidy)"
+fi
+
+note "clang-format"
+if command -v clang-format >/dev/null 2>&1; then
+  find src tests examples bench -name '*.cpp' -o -name '*.hpp' |
+    xargs clang-format --dry-run -Werror || status=1
+else
+  echo "clang-format not installed — skipped (CI runs it; apt-get install clang-format)"
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo
+  echo "lint.sh: OK"
+fi
+exit "$status"

@@ -1,0 +1,644 @@
+#!/usr/bin/env python3
+"""planck-lint: determinism-and-invariant static analysis for the Planck repo.
+
+Planck's value proposition is exact same-seed replay: the event stream a
+seed produces must be byte-identical across runs. The compiler cannot see
+the project-level invariants that guarantee that, so this tool checks them
+mechanically (see DESIGN.md section 7 for the catalogue and rationale):
+
+  wall-clock           std::chrono::{system,steady,high_resolution}_clock,
+                       std::rand/srand, std::random_device, argless time(),
+                       gettimeofday/clock_gettime/clock() are banned.
+                       Exempt: src/sim/random.hpp (the one sanctioned RNG
+                       home) and bench/ (harness throughput timing).
+  unordered-iteration  range-for / .begin() loops over unordered_map or
+                       unordered_set inside any function from which a
+                       scheduling sink (EventQueue::push*, Simulation::
+                       schedule*, ControlChannel::send/call, Timer::
+                       schedule) is reachable through the scanned call
+                       graph: hash order there becomes event order.
+  pointer-key          std::map/std::set keyed on a raw pointer, and sort
+                       comparators that order two pointer parameters by
+                       address: allocator addresses differ across runs.
+  time-unit            sim::Time/Duration values narrowed to 32-bit (or
+                       smaller) integers or float, either via static_cast
+                       or implicit-from-initializer: nanosecond timestamps
+                       overflow int32 after ~2.1 s of simulated time.
+  raw-cast             reinterpret_cast / const_cast anywhere; every site
+                       must be audited and carry a suppression.
+
+Suppressions (the checker understands both forms; place on the offending
+line or the line directly above it):
+
+  // planck-lint: allow(check-a, check-b) — rationale
+  // planck-lint: allow-file(check-a) — file-wide, put near the top
+
+The tool is dependency-free Python over a comment/string-stripped token
+stream; it is deliberately conservative (a project lint, not a compiler).
+`--selftest` runs the checks over tools/planck_lint/selftest/ fixtures
+whose expected findings are annotated inline with `// EXPECT-LINT: check`
+and fails on any mismatch, proving the tool still catches seeded
+violations.
+"""
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+DEFAULT_PATHS = ["src", "examples", "tests", "bench"]
+SOURCE_EXTS = {".cpp", ".hpp", ".h", ".cc", ".cxx", ".hxx"}
+
+ALL_CHECKS = [
+    "wall-clock",
+    "unordered-iteration",
+    "pointer-key",
+    "time-unit",
+    "raw-cast",
+]
+
+# Per-check path prefixes (relative to the repo root, '/'-separated) where
+# the check does not apply.
+PATH_EXEMPTIONS = {
+    "wall-clock": ["src/sim/random.hpp", "bench/"],
+}
+
+SUPPRESS_RE = re.compile(r"planck-lint:\s*allow(-file)?\(([^)]*)\)")
+EXPECT_RE = re.compile(r"//\s*EXPECT-LINT:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+
+@dataclass
+class Finding:
+    path: str  # repo-relative
+    line: int  # 1-based
+    check: str
+    message: str
+
+    def render(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    path: str  # repo-relative, '/'-separated
+    raw: str
+    code: str = ""  # comments/strings blanked, same offsets
+    allow_lines: dict = field(default_factory=dict)  # line -> set(checks)
+    allow_file: set = field(default_factory=set)
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments, string and char literals with spaces, preserving
+    newlines so offsets and line numbers survive."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c == "'" and i > 0 and text[i - 1].isalnum() and nxt.isalnum():
+            i += 1  # digit separator (1'000'000), not a char literal
+        elif c == '"' or c == "'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    if text[i + 1] != "\n":
+                        out[i + 1] = " "
+                    i += 2
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def load_file(root, relpath):
+    with open(os.path.join(root, relpath), encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    sf = SourceFile(path=relpath.replace(os.sep, "/"), raw=raw)
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        for m in SUPPRESS_RE.finditer(line):
+            checks = {c.strip() for c in m.group(2).split(",") if c.strip()}
+            if m.group(1):  # allow-file
+                sf.allow_file |= checks
+            else:
+                sf.allow_lines.setdefault(lineno, set()).update(checks)
+    sf.code = strip_comments_and_strings(raw)
+    return sf
+
+
+def line_of(code, offset):
+    return code.count("\n", 0, offset) + 1
+
+
+def match_paren(code, open_idx, open_ch="(", close_ch=")"):
+    """Index of the matching close for the opener at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def match_angle(code, open_idx):
+    """Match '<'...'>' treating template nesting; bails out on suspicious
+    characters so comparison expressions are not mistaken for templates."""
+    depth = 0
+    i = open_idx
+    while i < len(code):
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif c in ";{}":
+            return -1
+        i += 1
+    return -1
+
+
+def suppressed(sf, lineno, check):
+    if check in sf.allow_file or "*" in sf.allow_file:
+        return True
+    for probe in (lineno, lineno - 1):
+        allowed = sf.allow_lines.get(probe)
+        if allowed and (check in allowed or "*" in allowed):
+            return True
+    return False
+
+
+def exempt(path, check):
+    for prefix in PATH_EXEMPTIONS.get(check, []):
+        if path == prefix or path.startswith(prefix):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Check: wall-clock
+# --------------------------------------------------------------------------
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"),
+     "wall-clock time source; simulation time must come from sim::Simulation::now()"),
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\(|(?<![\w:])rand\s*\(\s*\)"),
+     "global C RNG; use a seeded sim::Rng (src/sim/random.hpp)"),
+    (re.compile(r"\bstd::random_device\b|(?<![\w:])random_device\b"),
+     "hardware entropy source; use a seeded sim::Rng (src/sim/random.hpp)"),
+    (re.compile(r"(?<![\w.])\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "wall-clock time(); simulation time must come from sim::Simulation::now()"),
+    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|(?<![\w:.])clock\s*\(\s*\)"),
+     "wall-clock syscall; simulation time must come from sim::Simulation::now()"),
+]
+
+
+def check_wall_clock(sf, findings):
+    for pattern, why in WALL_CLOCK_PATTERNS:
+        for m in pattern.finditer(sf.code):
+            lineno = line_of(sf.code, m.start())
+            findings.append(Finding(sf.path, lineno, "wall-clock",
+                                    f"'{m.group(0).strip()}': {why}"))
+
+
+# --------------------------------------------------------------------------
+# Check: unordered-iteration
+# --------------------------------------------------------------------------
+
+# Scheduling sinks: member/qualified calls through which hash order would
+# become event order. push_back/push_front are not sinks (the (?!_) guard).
+SINK_RE = re.compile(
+    r"(?:\.|->|::)\s*"
+    r"(schedule(?:_at|_packet|_call(?:_at)?)?|push(?:_packet|_call)?(?!_)|send|call)"
+    r"\s*\(")
+
+CALL_NAME_RE = re.compile(r"(?:\.|->|::|\b)([A-Za-z_]\w*)\s*\(")
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "sizeof",
+                    "alignof", "decltype", "static_assert", "assert"}
+
+
+@dataclass
+class Function:
+    name: str
+    path: str
+    start: int  # offset of body '{' in file code
+    body: str
+    calls: set = field(default_factory=set)
+    has_sink: bool = False
+    tainted_via: str = ""  # "" when not tainted
+
+
+def extract_functions(sf):
+    """Best-effort function-definition finder: every '{' whose predecessor
+    (after const/noexcept/override trailers) is a ')' with an identifier
+    before the matching '(' is treated as a function body. Lambdas and
+    ctor-initializer tails resolve to *some* name in the enclosing chain,
+    which is all the name-based call graph needs."""
+    code = sf.code
+    funcs = []
+    skip_until = -1
+    for m in re.finditer(r"\{", code):
+        brace = m.start()
+        if brace < skip_until:
+            continue
+        head = code[:brace].rstrip()
+        head = re.sub(r"(?:\s*(?:const|noexcept|override|final|mutable))*$", "", head)
+        head = re.sub(r"->\s*[\w:<>&*\s]+$", "", head).rstrip()  # trailing return
+        if not head.endswith(")"):
+            continue
+        # Find the '(' matching this trailing ')'.
+        depth = 0
+        open_idx = -1
+        for i in range(len(head) - 1, -1, -1):
+            if head[i] == ")":
+                depth += 1
+            elif head[i] == "(":
+                depth -= 1
+                if depth == 0:
+                    open_idx = i
+                    break
+        if open_idx <= 0:
+            continue
+        name_m = re.search(r"([A-Za-z_~]\w*)\s*$", head[:open_idx])
+        if not name_m:
+            continue  # lambda or cast
+        name = name_m.group(1)
+        if name in CONTROL_KEYWORDS:
+            continue
+        close = match_paren(code, brace, "{", "}")
+        if close < 0:
+            continue
+        body = code[brace:close + 1]
+        fn = Function(name=name, path=sf.path, start=brace, body=body)
+        fn.has_sink = SINK_RE.search(body) is not None
+        fn.calls = {c for c in CALL_NAME_RE.findall(body)
+                    if c not in CONTROL_KEYWORDS}
+        funcs.append(fn)
+        skip_until = close + 1
+    return funcs
+
+
+def file_stem(path):
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def build_unordered_registry(files):
+    """Function names returning an unordered container (global, since calls
+    like collector->flow_table().flows() cross files), and variable names
+    declared with an unordered type, scoped per file *stem* so that a
+    member declared in foo.hpp is visible in foo.cpp but an unrelated
+    same-named member of another class is not (e.g. Controller::switches_
+    is an unordered_map while PollTe::switches_ is a vector)."""
+    vars_by_stem, method_names = {}, set()
+    for sf in files:
+        stem_vars = vars_by_stem.setdefault(file_stem(sf.path), set())
+        for m in re.finditer(r"\bunordered_(?:map|set)\s*<", sf.code):
+            open_idx = m.end() - 1
+            close = match_angle(sf.code, open_idx)
+            if close < 0:
+                continue
+            tail = sf.code[close + 1:close + 160]
+            dm = re.match(r"\s*(?:&\s*)?([A-Za-z_]\w*)\s*([(;={,)])", tail)
+            if not dm:
+                continue
+            name, delim = dm.group(1), dm.group(2)
+            if delim == "(":
+                method_names.add(name)
+            else:
+                stem_vars.add(name)
+    return vars_by_stem, method_names
+
+
+def split_top_level(text, sep):
+    parts, depth, last = [], 0, 0
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth -= 1
+        elif c == sep and depth == 0:
+            if sep == ":" and i + 1 < len(text) and text[i + 1] == ":":
+                i += 2
+                continue
+            if sep == ":" and i > 0 and text[i - 1] == ":":
+                i += 1
+                continue
+            parts.append(text[last:i])
+            last = i + 1
+        i += 1
+    parts.append(text[last:])
+    return parts
+
+
+def expr_is_unordered(expr, var_names, method_names):
+    expr = expr.strip()
+    if "unordered_map" in expr or "unordered_set" in expr:
+        return True
+    call = re.search(r"(?:\.|->)\s*([A-Za-z_]\w*)\s*\(\s*\)\s*$", expr)
+    if call and call.group(1) in method_names:
+        return True
+    ident = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+    if ident and ident.group(1) in var_names:
+        return True
+    return False
+
+
+def compute_taint(all_funcs):
+    """Fixpoint taint propagation over the name-based call graph: a function
+    is tainted when its body contains a scheduling sink, or it calls (by
+    simple name) any tainted function in the scanned set."""
+    by_name = {}
+    for fn in all_funcs:
+        by_name.setdefault(fn.name, []).append(fn)
+    for fn in all_funcs:
+        if fn.has_sink:
+            fn.tainted_via = "direct scheduling call"
+    changed = True
+    while changed:
+        changed = False
+        for fn in all_funcs:
+            if fn.tainted_via:
+                continue
+            for callee in fn.calls:
+                targets = by_name.get(callee)
+                if targets and any(t.tainted_via for t in targets):
+                    fn.tainted_via = f"calls {callee}()"
+                    changed = True
+                    break
+    return by_name
+
+
+def check_unordered_iteration(files, findings):
+    vars_by_stem, method_names = build_unordered_registry(files)
+    all_funcs = []
+    funcs_by_file = {}
+    for sf in files:
+        funcs = extract_functions(sf)
+        funcs_by_file[sf.path] = funcs
+        all_funcs.extend(funcs)
+    compute_taint(all_funcs)
+
+    for sf in files:
+        var_names = vars_by_stem.get(file_stem(sf.path), set())
+        for fn in funcs_by_file[sf.path]:
+            if not fn.tainted_via:
+                continue
+            for m in re.finditer(r"\bfor\s*\(", fn.body):
+                open_idx = m.end() - 1
+                close = match_paren(fn.body, open_idx)
+                if close < 0:
+                    continue
+                header = fn.body[open_idx + 1:close]
+                parts = split_top_level(header, ":")
+                hit = None
+                if len(parts) == 2:  # range-for
+                    if expr_is_unordered(parts[1], var_names, method_names):
+                        hit = parts[1].strip()
+                else:  # classic loop: iterator over an unordered container?
+                    it = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*begin\s*\(", header)
+                    if it and it.group(1) in var_names:
+                        hit = f"{it.group(1)}.begin()"
+                if hit is None:
+                    continue
+                lineno = line_of(sf.code, fn.start + m.start())
+                findings.append(Finding(
+                    sf.path, lineno, "unordered-iteration",
+                    f"iteration over unordered container '{hit}' in "
+                    f"'{fn.name}' ({fn.tainted_via}; hash order becomes "
+                    f"event order — iterate sorted keys or suppress with a "
+                    f"rationale)"))
+
+
+# --------------------------------------------------------------------------
+# Check: pointer-key
+# --------------------------------------------------------------------------
+
+CMP_LAMBDA_RE = re.compile(
+    r"\[[^\[\]]*\]\s*\(\s*(?:const\s+)?[\w:]+\s*\*\s*(?:const\s+)?([A-Za-z_]\w*)\s*,"
+    r"\s*(?:const\s+)?[\w:]+\s*\*\s*(?:const\s+)?([A-Za-z_]\w*)\s*\)"
+    r"\s*(?:->\s*bool\s*)?\{")
+
+
+def check_pointer_key(sf, findings):
+    for m in re.finditer(r"\bstd::(map|set)\s*<", sf.code):
+        open_idx = m.end() - 1
+        close = match_angle(sf.code, open_idx)
+        if close < 0:
+            continue
+        args = split_top_level(sf.code[open_idx + 1:close], ",")
+        key = args[0].strip()
+        if key.endswith("*"):
+            lineno = line_of(sf.code, m.start())
+            findings.append(Finding(
+                sf.path, lineno, "pointer-key",
+                f"std::{m.group(1)} keyed on raw pointer '{key}': address "
+                f"order varies across runs; key on a stable id instead"))
+    for m in CMP_LAMBDA_RE.finditer(sf.code):
+        a, b = m.group(1), m.group(2)
+        body_close = match_paren(sf.code, m.end() - 1, "{", "}")
+        if body_close < 0:
+            continue
+        body = sf.code[m.end() - 1:body_close]
+        if re.search(rf"\b{a}\s*<\s*{b}\b|\b{b}\s*<\s*{a}\b", body):
+            lineno = line_of(sf.code, m.start())
+            findings.append(Finding(
+                sf.path, lineno, "pointer-key",
+                f"comparator orders pointers '{a}'/'{b}' by address: "
+                f"allocation order varies across runs; compare a stable "
+                f"field instead"))
+
+
+# --------------------------------------------------------------------------
+# Check: time-unit
+# --------------------------------------------------------------------------
+
+NARROW_TYPE = (r"(?:int|short|float|unsigned(?:\s+int)?|"
+               r"(?:std::)?u?int(?:8|16|32)_t)")
+TIME_TOKEN_RE = re.compile(
+    r"\bnow\s*\(\s*\)|\b(?:nanoseconds|microseconds|milliseconds|seconds)\s*\(|"
+    r"\bk(?:Nanosecond|Microsecond|Millisecond|Second)\b|"
+    r"\bsim::(?:Time|Duration)\b")
+
+
+def check_time_unit(sf, findings):
+    for m in re.finditer(rf"static_cast\s*<\s*{NARROW_TYPE}\s*>\s*\(", sf.code):
+        close = match_paren(sf.code, m.end() - 1)
+        if close < 0:
+            continue
+        arg = sf.code[m.end():close]
+        if TIME_TOKEN_RE.search(arg):
+            lineno = line_of(sf.code, m.start())
+            findings.append(Finding(
+                sf.path, lineno, "time-unit",
+                f"sim::Time/Duration value narrowed by "
+                f"'{sf.code[m.start():m.end() - 1].strip()}': nanosecond "
+                f"timestamps overflow 32-bit after ~2.1 s of simulated time"))
+    for m in re.finditer(
+            rf"(?:\A|(?<=[;{{}}\n]))\s*(?:const\s+)?{NARROW_TYPE}\s+\w+\s*=\s*([^;]*);",
+            sf.code):
+        if TIME_TOKEN_RE.search(m.group(1)):
+            lineno = line_of(sf.code, m.start(1))
+            findings.append(Finding(
+                sf.path, lineno, "time-unit",
+                "sim::Time/Duration expression initializes a narrow "
+                "variable; declare it sim::Time/sim::Duration (or widen)"))
+
+
+# --------------------------------------------------------------------------
+# Check: raw-cast
+# --------------------------------------------------------------------------
+
+def check_raw_cast(sf, findings):
+    for m in re.finditer(r"\b(reinterpret_cast|const_cast)\b", sf.code):
+        lineno = line_of(sf.code, m.start())
+        findings.append(Finding(
+            sf.path, lineno, "raw-cast",
+            f"{m.group(1)} requires an audit: convert to std::bit_cast or a "
+            f"typed accessor, or suppress with a rationale"))
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def collect_files(root, paths):
+    rels = []
+    for p in paths:
+        ap = os.path.join(root, p)
+        if os.path.isfile(ap):
+            rels.append(os.path.relpath(ap, root))
+            continue
+        for dirpath, _dirnames, filenames in os.walk(ap):
+            for fname in sorted(filenames):
+                if os.path.splitext(fname)[1] in SOURCE_EXTS:
+                    rels.append(os.path.relpath(os.path.join(dirpath, fname), root))
+    return sorted(set(rels))
+
+
+def run_checks(root, paths, checks):
+    files = [load_file(root, rel) for rel in collect_files(root, paths)]
+    findings = []
+    if "unordered-iteration" in checks:
+        check_unordered_iteration(files, findings)
+    per_file_checks = {
+        "wall-clock": check_wall_clock,
+        "pointer-key": check_pointer_key,
+        "time-unit": check_time_unit,
+        "raw-cast": check_raw_cast,
+    }
+    for sf in files:
+        for check, fn in per_file_checks.items():
+            if check in checks:
+                fn(sf, findings)
+    by_path = {sf.path: sf for sf in files}
+    kept = [f for f in findings
+            if not exempt(f.path, f.check)
+            and not suppressed(by_path[f.path], f.line, f.check)]
+    kept.sort(key=lambda f: (f.path, f.line, f.check))
+    return kept
+
+
+def run_selftest(root):
+    fixture_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "selftest")
+    findings = run_checks(fixture_dir, ["."], set(ALL_CHECKS))
+    found = {(f.path.lstrip("./"), f.line, f.check) for f in findings}
+
+    expected = set()
+    for rel in collect_files(fixture_dir, ["."]):
+        with open(os.path.join(fixture_dir, rel), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                m = EXPECT_RE.search(line)
+                if m:
+                    for check in m.group(1).split(","):
+                        expected.add((rel.lstrip("./"), lineno, check.strip()))
+
+    missing = expected - found
+    unexpected = found - expected
+    for path, lineno, check in sorted(missing):
+        print(f"SELFTEST MISS: expected [{check}] at {path}:{lineno} "
+              f"— the check regressed", file=sys.stderr)
+    for path, lineno, check in sorted(unexpected):
+        print(f"SELFTEST FALSE POSITIVE: [{check}] at {path}:{lineno}",
+              file=sys.stderr)
+    if missing or unexpected:
+        return 1
+    print(f"planck-lint selftest: {len(expected)} seeded violations "
+          f"detected, no false positives.")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="planck-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help=f"files/dirs to lint (default: {DEFAULT_PATHS})")
+    parser.add_argument("--repo-root", default=REPO_ROOT)
+    parser.add_argument("--checks", default=",".join(ALL_CHECKS),
+                        help="comma-separated subset of checks to run")
+    parser.add_argument("--list-checks", action="store_true")
+    parser.add_argument("--selftest", action="store_true",
+                        help="verify the tool against the seeded-violation "
+                             "fixtures in tools/planck_lint/selftest/")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for check in ALL_CHECKS:
+            print(check)
+        return 0
+    if args.selftest:
+        return run_selftest(args.repo_root)
+
+    checks = {c.strip() for c in args.checks.split(",") if c.strip()}
+    unknown = checks - set(ALL_CHECKS)
+    if unknown:
+        print(f"unknown checks: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+    paths = args.paths or DEFAULT_PATHS
+    findings = run_checks(args.repo_root, paths, checks)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"planck-lint: {len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    print(f"planck-lint: clean ({', '.join(sorted(checks))}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+// Legitimate patterns that planck-lint must NOT flag: any finding in this
+// file is a selftest false positive. This file is never compiled.
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct CleanSim {
+  void schedule(int delay);
+};
+
+struct CleanPatterns {
+  CleanSim sim_;
+  std::unordered_map<int, int> table_;
+  std::map<int, int> ordered_;  // ordered container: iterate freely
+
+  // The canonical fix for unordered iteration in scheduling paths:
+  // collect-then-sort with a suppression on the collection loop.
+  void sorted_traversal() {
+    std::vector<int> keys;
+    keys.reserve(table_.size());
+    // planck-lint: allow(unordered-iteration) — collect-then-sort
+    for (const auto& kv : table_) keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    for (int k : keys) sim_.schedule(k);
+  }
+
+  // No scheduling reachable: hash order never leaves this function.
+  int pure_sum() const {
+    int sum = 0;
+    for (const auto& kv : table_) sum += kv.second;
+    for (const auto& kv : ordered_) sum += kv.second;
+    return sum;
+  }
+
+  // Widening conversions of timestamps are fine; so are casts between
+  // non-time integers.
+  double widen(long t_ns, int count) const {
+    return static_cast<double>(t_ns) + static_cast<double>(count);
+  }
+};
+
+// 1'000'000-style digit separators must not confuse the string stripper:
+// if they did, everything between two separators would be blanked and the
+// declarations below would vanish from the unordered registry.
+inline constexpr long kCleanRate = 10'000'000'000;
+
+struct SeparatorProbe {
+  CleanSim sim_;
+  std::unordered_map<long, long> after_separator_;
+
+  void still_detected() {
+    std::vector<long> keys;
+    // planck-lint: allow(unordered-iteration) — collect-then-sort
+    for (const auto& kv : after_separator_) keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    for (long k : keys) sim_.schedule(static_cast<int>(k));
+  }
+};

@@ -1,0 +1,115 @@
+// Seeded violations for planck-lint's selftest. Each `EXPECT-LINT:` comment
+// names the check that must fire on that exact line; the selftest fails if
+// a check misses its line or fires anywhere unannotated. This file is never
+// compiled — it only has to look like the C++ the analyzer parses.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Sim {
+  void schedule(int delay);
+  long now();
+};
+
+struct Widget {
+  int id;
+};
+
+// --- wall-clock ----------------------------------------------------------
+
+long wall_clock_sources() {
+  auto t0 = std::chrono::steady_clock::now();          // EXPECT-LINT: wall-clock
+  auto t1 = std::chrono::system_clock::now();          // EXPECT-LINT: wall-clock
+  int noise = std::rand();                             // EXPECT-LINT: wall-clock
+  std::random_device entropy;                          // EXPECT-LINT: wall-clock
+  long stamp = time(nullptr);                          // EXPECT-LINT: wall-clock
+  (void)t0;
+  (void)t1;
+  return stamp + noise + static_cast<long>(entropy());
+}
+
+// --- unordered-iteration -------------------------------------------------
+
+struct Taint {
+  Sim sim_;
+  std::unordered_map<int, int> table_;
+  std::vector<int> keys_;
+
+  void tainted_direct() {
+    for (const auto& kv : table_) {                    // EXPECT-LINT: unordered-iteration
+      sim_.schedule(kv.first);
+    }
+  }
+
+  void helper() { sim_.schedule(1); }
+
+  void tainted_one_hop() {
+    for (const auto& kv : table_) {                    // EXPECT-LINT: unordered-iteration
+      helper();
+      (void)kv;
+    }
+  }
+
+  void tainted_iterator_loop() {
+    for (auto it = table_.begin(); it != table_.end(); ++it) {  // EXPECT-LINT: unordered-iteration
+      sim_.schedule(it->first);
+    }
+  }
+
+  // No scheduling reachable from here: hash order stays internal, the pure
+  // fold below must NOT be flagged.
+  int untainted_fold() {
+    int sum = 0;
+    for (const auto& kv : table_) sum += kv.second;
+    return sum;
+  }
+
+  // Suppressed with a rationale: must NOT be reported.
+  void suppressed_collect() {
+    // planck-lint: allow(unordered-iteration) — collect-then-sort
+    for (const auto& kv : table_) keys_.push_back(kv.first);
+    sim_.schedule(0);
+  }
+};
+
+// --- pointer-key ---------------------------------------------------------
+
+struct PointerOrder {
+  std::map<Widget*, int> by_address_;                  // EXPECT-LINT: pointer-key
+
+  static bool before(const std::vector<Widget*>& v) {
+    auto cmp = [](const Widget* a, const Widget* b) { return a < b; };  // EXPECT-LINT: pointer-key
+    return cmp(v[0], v[1]);
+  }
+};
+
+// --- time-unit -----------------------------------------------------------
+
+constexpr long kMillisecond = 1'000'000;
+long milliseconds(long n) { return n * kMillisecond; }
+
+int time_unit_narrowing(Sim& sim) {
+  int deadline = static_cast<int>(sim.now() + milliseconds(5));  // EXPECT-LINT: time-unit
+  const unsigned timeout = milliseconds(2) + kMillisecond;       // EXPECT-LINT: time-unit
+  return deadline + static_cast<int>(timeout);
+}
+
+// --- raw-cast ------------------------------------------------------------
+
+int raw_casts(const double* value) {
+  const long bits = *reinterpret_cast<const long*>(value);       // EXPECT-LINT: raw-cast
+  double* writable = const_cast<double*>(value);                 // EXPECT-LINT: raw-cast
+  *writable = 0.0;
+  return static_cast<int>(bits & 0xff);
+}
+
+// Audited cast with a rationale: must NOT be reported.
+int suppressed_cast(const double* value) {
+  // planck-lint: allow(raw-cast) — bit inspection audited in selftest
+  const long bits = *reinterpret_cast<const long*>(value);
+  return static_cast<int>(bits & 0xff);
+}
