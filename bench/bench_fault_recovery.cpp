@@ -33,7 +33,7 @@ TrialResult run_trial(double channel_loss, std::uint64_t seed) {
   TrialResult r;
   sim::Simulation simulation;
   const net::TopologyGraph graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::TestbedConfig cfg;
   cfg.controller_config.channel.loss_prob = channel_loss;
   cfg.controller_config.channel.seed = seed;

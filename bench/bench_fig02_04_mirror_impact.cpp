@@ -39,7 +39,7 @@ Metrics run_case(int congested_ports, bool mirror, sim::Duration duration) {
   sim::Simulation simulation;
   const int hosts = congested_ports * 3;
   const net::TopologyGraph graph = net::make_star(
-      64 - 1, net::LinkSpec{10'000'000'000, sim::microseconds(40)});
+      64 - 1, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(40)});
 
   workload::TestbedConfig cfg;
   cfg.enable_planck = mirror;
@@ -115,8 +115,8 @@ Metrics run_case(int congested_ports, bool mirror, sim::Duration duration) {
   std::uint64_t warm_tx = 0;
   simulation.schedule_at(measure_from, [&] {
     for (int p = 0; p < data_ports; ++p) {
-      warm_drops += sw->counters(p).drops;
-      warm_tx += sw->counters(p).tx_packets;
+      warm_drops += sw->counters(p).drops.count();
+      warm_tx += sw->counters(p).tx_packets.count();
     }
   });
 
@@ -125,8 +125,8 @@ Metrics run_case(int congested_ports, bool mirror, sim::Duration duration) {
   std::uint64_t drops = 0;
   std::uint64_t txed = 0;
   for (int p = 0; p < data_ports; ++p) {
-    drops += sw->counters(p).drops;
-    txed += sw->counters(p).tx_packets;
+    drops += sw->counters(p).drops.count();
+    txed += sw->counters(p).tx_packets.count();
   }
   drops -= warm_drops;
   txed -= warm_tx;

@@ -34,12 +34,12 @@ struct SampleAnalysis {
 SampleAnalysis run_case(int flows, sim::Duration duration) {
   sim::Simulation simulation;
   const net::TopologyGraph graph = net::make_star(
-      2 * flows, net::LinkSpec{10'000'000'000, sim::microseconds(40)});
+      2 * flows, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(40)});
   workload::TestbedConfig cfg;
   // Sender microbursts per Bullet Trains [23]: the paper's Figure 7
   // attributes the long inter-arrival tail to sender-side transmit gaps;
   // this reproduces that behaviour (see HostConfig).
-  cfg.host_config.stall_every_bytes = 128 * 1024;
+  cfg.host_config.stall_every_bytes = sim::kibibytes(128);
   cfg.host_config.sender_stall_min = 0;
   cfg.host_config.sender_stall_max = sim::microseconds(60);
   workload::Testbed bed(simulation, graph, cfg);

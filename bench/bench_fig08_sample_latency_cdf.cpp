@@ -16,11 +16,11 @@ using namespace planck;
 
 namespace {
 
-stats::Samples run_case(std::int64_t rate_bps, std::int64_t monitor_cap,
+stats::Samples run_case(sim::BitsPerSec rate, sim::Bytes monitor_cap,
                         sim::Duration duration) {
   sim::Simulation simulation;
   const net::TopologyGraph graph =
-      net::make_star(6, net::LinkSpec{rate_bps, sim::microseconds(40)});
+      net::make_star(6, net::LinkSpec{rate, sim::microseconds(40)});
   workload::TestbedConfig cfg;
   cfg.switch_config.monitor_port_cap = monitor_cap;
   workload::Testbed bed(simulation, graph, cfg);
@@ -55,13 +55,13 @@ int main() {
       static_cast<double>(sim::milliseconds(60)) * bench::scale());
 
   const stats::Samples ten_g =
-      run_case(10'000'000'000, 4 * 1024 * 1024, duration);
+      run_case(sim::gigabits_per_sec(10), sim::mebibytes(4), duration);
   bench::print_cdf("\nIBM G8264-like (10 Gbps, 4 MB monitor allocation)",
                    ten_g, 20, "ms");
   std::printf("  median: %.2f ms (paper: ~3.5 ms)\n", ten_g.median());
 
   const stats::Samples one_g =
-      run_case(1'000'000'000, 768 * 1024, duration * 4);
+      run_case(sim::gigabits_per_sec(1), sim::kibibytes(768), duration * 4);
   bench::print_cdf("\nPronto 3290-like (1 Gbps, 0.75 MB monitor allocation)",
                    one_g, 20, "ms");
   std::printf("  median: %.2f ms (paper: just over 6 ms)\n", one_g.median());

@@ -21,12 +21,12 @@ using namespace planck;
 
 namespace {
 
-stats::Samples run_case(double factor, std::int64_t monitor_cap,
+stats::Samples run_case(double factor, sim::Bytes monitor_cap,
                         sim::Duration duration) {
   sim::Simulation simulation;
   constexpr int kSources = 8;
   const net::TopologyGraph graph = net::make_star(
-      2 * kSources, net::LinkSpec{10'000'000'000, sim::microseconds(40)});
+      2 * kSources, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(40)});
   workload::TestbedConfig cfg;
   cfg.switch_config.monitor_port_cap = monitor_cap;
   workload::Testbed bed(simulation, graph, cfg);
@@ -46,7 +46,7 @@ stats::Samples run_case(double factor, std::int64_t monitor_cap,
   for (int f = 0; f < kSources; ++f) {
     sources.push_back(std::make_unique<tcp::CbrSource>(
         simulation, *bed.host(f), net::host_ip(kSources + f),
-        static_cast<std::uint16_t>(7000 + f), 7001, per_source));
+        static_cast<std::uint16_t>(7000 + f), 7001, sim::BitsPerSec{per_source}));
     sources.back()->start();
   }
   simulation.run_until(measure_from + duration);
@@ -64,8 +64,8 @@ int main() {
   stats::TextTable table({"factor", "mean latency ms (4MB monitor)",
                           "mean latency ms (minbuffer)"});
   for (double factor : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0}) {
-    const auto fixed = run_case(factor, 4 * 1024 * 1024, duration);
-    const auto minbuf = run_case(factor, 8 * 1518, duration);
+    const auto fixed = run_case(factor, sim::mebibytes(4), duration);
+    const auto minbuf = run_case(factor, sim::bytes(8 * 1518), duration);
     table.add_row({stats::format("%.1f", factor),
                    stats::format("%.3f", fixed.mean()),
                    stats::format("%.3f", minbuf.mean())});

@@ -21,7 +21,7 @@ int main() {
   // RTT ~ 420 us (the paper's testbed saw 180-250 us; a little larger here
   // stretches slow start so the figure's 12 ms window shows the ramp).
   const net::TopologyGraph graph = net::make_star(
-      2, net::LinkSpec{10'000'000'000, sim::microseconds(100)});
+      2, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(100)});
   workload::TestbedConfig cfg;
   workload::Testbed bed(simulation, graph, cfg);
 

@@ -26,7 +26,7 @@ double run_case(double factor, sim::Duration duration) {
   sim::Simulation simulation;
   constexpr int kSources = 8;
   const net::TopologyGraph graph = net::make_star(
-      2 * kSources, net::LinkSpec{10'000'000'000, sim::microseconds(40)});
+      2 * kSources, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(40)});
   workload::TestbedConfig cfg;
   workload::Testbed bed(simulation, graph, cfg);
 
@@ -47,7 +47,7 @@ double run_case(double factor, sim::Duration duration) {
     sources.push_back(std::make_unique<tcp::CbrSource>(
         simulation, *bed.host(f), net::host_ip(kSources + f),
         static_cast<std::uint16_t>(7000 + f), 7001,
-        static_cast<std::int64_t>(background)));
+        sim::BitsPerSec{static_cast<std::int64_t>(background)}));
     sources.back()->start();
   }
 

@@ -22,11 +22,11 @@ struct Breakdown {
   stats::Samples estimate_gap_us;       // collector -> stable estimate
 };
 
-Breakdown run_case(std::int64_t monitor_cap, bool congested) {
+Breakdown run_case(sim::Bytes monitor_cap, bool congested) {
   Breakdown b;
   sim::Simulation simulation;
   const net::TopologyGraph graph = net::make_star(
-      6, net::LinkSpec{10'000'000'000, sim::microseconds(40)});
+      6, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(40)});
   workload::TestbedConfig cfg;
   cfg.switch_config.monitor_port_cap = monitor_cap;
   workload::Testbed bed(simulation, graph, cfg);
@@ -73,13 +73,13 @@ int main() {
   std::printf("\npacket sent --> sample at collector --> stable estimate\n");
 
   std::printf("\nminbuffer monitor port, idle network:\n");
-  const Breakdown minb = run_case(8 * 1518, /*congested=*/false);
+  const Breakdown minb = run_case(sim::bytes(8 * 1518), /*congested=*/false);
   print_stage("wire -> collector", minb.wire_to_collector_us, "75-150 us");
   print_stage("collector -> stable estimate", minb.estimate_gap_us,
               "200-700 us");
 
   std::printf("\ndefault (4 MB) monitor port, congested:\n");
-  const Breakdown buf = run_case(4 * 1024 * 1024, /*congested=*/true);
+  const Breakdown buf = run_case(sim::mebibytes(4), /*congested=*/true);
   print_stage("wire -> collector (buffered)", buf.wire_to_collector_us,
               "2500-3500 us");
   print_stage("collector -> stable estimate", buf.estimate_gap_us,

@@ -70,7 +70,7 @@ int main() {
           cfg.flow_bytes = bench::mib(mib);
           cfg.seed = static_cast<std::uint64_t>(1000 + r);
           const auto result = run_experiment(cfg);
-          avg.add(result.avg_flow_throughput_bps / 1e9);
+          avg.add(result.avg_flow_throughput.count() / 1e9);
           if (!result.all_complete) {
             std::fprintf(stderr, "warning: %s/%s run %d incomplete\n",
                          workload_name(workload), scheme_name(scheme), r);

@@ -20,7 +20,7 @@ int main() {
 
   sim::Simulation simulation;
   const net::TopologyGraph graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::TestbedConfig cfg;
   workload::Testbed bed(simulation, graph, cfg);
   te::PlanckTe te(simulation, bed.controller(), te::PlanckTeConfig{});

@@ -30,7 +30,7 @@ double run_trial(controller::RerouteMechanism mechanism, std::uint64_t seed,
                  int src_a, int dst_a, int src_b, int dst_b) {
   sim::Simulation simulation;
   const net::TopologyGraph graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::TestbedConfig cfg;
   cfg.controller_config.seed = seed;
   workload::Testbed bed(simulation, graph, cfg);

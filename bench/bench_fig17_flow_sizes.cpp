@@ -41,7 +41,7 @@ int main() {
         cfg.workload = WorkloadKind::kStride;
         cfg.flow_bytes = bench::mib(mib * scale);
         cfg.seed = static_cast<std::uint64_t>(100 + r);
-        avg.add(run_experiment(cfg).avg_flow_throughput_bps / 1e9);
+        avg.add(run_experiment(cfg).avg_flow_throughput.count() / 1e9);
       }
       row.push_back(stats::format("%.2f", avg.mean()));
     }

@@ -92,7 +92,7 @@ BENCHMARK(BM_CollectorManyFlows)->Arg(16)->Arg(256)->Arg(4096);
 void BM_SwitchForward(benchmark::State& state) {
   sim::Simulation simulation;
   switchsim::Switch sw(simulation, "bench", 4, switchsim::SwitchConfig{});
-  net::Link link(simulation, 10'000'000'000, 0);
+  net::Link link(simulation, sim::gigabits_per_sec(10), 0);
   struct Sink : net::Node {
     void handle_packet(const net::Packet&, int) override {}
   } sink;

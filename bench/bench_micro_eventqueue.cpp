@@ -176,7 +176,7 @@ double churn_wheel_typed(const std::vector<sim::Duration>& delays,
 double fat_tree_end_to_end(std::uint64_t* events, double* sim_seconds) {
   sim::Simulation simulation;
   const net::TopologyGraph graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::Testbed bed(simulation, graph, workload::TestbedConfig{});
   for (int i = 0; i < 8; ++i) {
     bed.host(i)->start_flow(net::host_ip(8 + (i + 1) % 8), 5001,

@@ -25,7 +25,7 @@ int main() {
 
   sim::Simulation simulation;
   const net::TopologyGraph graph = net::make_star(
-      8, net::LinkSpec{10'000'000'000, sim::microseconds(40)});
+      8, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(40)});
   workload::TestbedConfig cfg;
   cfg.switch_config.sflow_one_in_n = 128;  // plenty; CPU cap dominates
   cfg.switch_config.sflow_max_samples_per_sec = 300.0;

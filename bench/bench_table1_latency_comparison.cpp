@@ -32,14 +32,14 @@ struct Measured {
   }
 };
 
-Measured run_case(std::int64_t rate_bps, std::int64_t monitor_cap) {
+Measured run_case(sim::BitsPerSec rate, sim::Bytes monitor_cap) {
   Measured m;
 
   // Part 1: undersubscribed sample latency (§5.2) — one flow, idle net.
   {
     sim::Simulation simulation;
     const net::TopologyGraph graph =
-        net::make_star(6, net::LinkSpec{rate_bps, sim::microseconds(40)});
+        net::make_star(6, net::LinkSpec{rate, sim::microseconds(40)});
     workload::TestbedConfig cfg;
     cfg.switch_config.monitor_port_cap = monitor_cap;
     workload::Testbed bed(simulation, graph, cfg);
@@ -60,7 +60,7 @@ Measured run_case(std::int64_t rate_bps, std::int64_t monitor_cap) {
   {
     sim::Simulation simulation;
     const net::TopologyGraph graph =
-        net::make_star(6, net::LinkSpec{rate_bps, sim::microseconds(40)});
+        net::make_star(6, net::LinkSpec{rate, sim::microseconds(40)});
     workload::TestbedConfig cfg;
     cfg.switch_config.monitor_port_cap = monitor_cap;
     workload::Testbed bed(simulation, graph, cfg);
@@ -87,7 +87,7 @@ Measured run_case(std::int64_t rate_bps, std::int64_t monitor_cap) {
   {
     sim::Simulation simulation;
     const net::TopologyGraph graph =
-        net::make_star(6, net::LinkSpec{rate_bps, sim::microseconds(40)});
+        net::make_star(6, net::LinkSpec{rate, sim::microseconds(40)});
     workload::TestbedConfig cfg;
     cfg.switch_config.monitor_port_cap = monitor_cap;
     workload::Testbed bed(simulation, graph, cfg);
@@ -123,10 +123,10 @@ struct PriorSystem {
 int main() {
   bench::header("Table 1", "measurement latency comparison (§5.5)");
 
-  const Measured g10_min = run_case(10'000'000'000, 8 * 1518);
-  const Measured g1_min = run_case(1'000'000'000, 8 * 1518);
-  const Measured g10 = run_case(10'000'000'000, 4 * 1024 * 1024);
-  const Measured g1 = run_case(1'000'000'000, 768 * 1024);
+  const Measured g10_min = run_case(sim::gigabits_per_sec(10), sim::bytes(8 * 1518));
+  const Measured g1_min = run_case(sim::gigabits_per_sec(1), sim::bytes(8 * 1518));
+  const Measured g10 = run_case(sim::gigabits_per_sec(10), sim::mebibytes(4));
+  const Measured g1 = run_case(sim::gigabits_per_sec(1), sim::kibibytes(768));
 
   const double planck_10g_ms = g10.total_hi_us(true) / 1000.0;
 

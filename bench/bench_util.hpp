@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/units.hpp"
 #include "stats/samples.hpp"
 #include "stats/table.hpp"
 
@@ -37,8 +38,8 @@ inline double scale() {
   return 1.0;
 }
 
-inline std::int64_t mib(double n) {
-  return static_cast<std::int64_t>(n * 1024 * 1024);
+inline sim::Bytes mib(double n) {
+  return sim::Bytes{static_cast<std::int64_t>(n * 1024 * 1024)};
 }
 
 inline void header(const char* id, const char* title) {

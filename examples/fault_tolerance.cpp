@@ -19,7 +19,7 @@ using namespace planck;
 int main() {
   sim::Simulation simulation;
   const net::TopologyGraph graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::Testbed bed(simulation, graph, workload::TestbedConfig{});
   te::PlanckTe te(simulation, bed.controller(), te::PlanckTeConfig{});
   fault::FaultInjector injector(simulation, bed, /*seed=*/1);

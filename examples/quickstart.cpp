@@ -18,7 +18,7 @@ int main() {
   // Four hosts on one 10 Gbps switch, with a Planck collector on the
   // switch's monitor port.
   net::LinkSpec link;
-  link.rate_bps = 10'000'000'000;
+  link.rate = sim::gigabits_per_sec(10);
   link.propagation = sim::microseconds(40);
   const net::TopologyGraph graph = net::make_star(4, link);
 
@@ -37,7 +37,7 @@ int main() {
 
   std::printf("flow complete: %s\n", result.complete ? "yes" : "no");
   std::printf("  bytes       : %lld\n",
-              static_cast<long long>(result.total_bytes));
+              static_cast<long long>(result.total_bytes.count()));
   std::printf("  duration    : %.2f ms\n",
               sim::to_milliseconds(result.completed_at - result.started_at));
   std::printf("  goodput     : %.2f Gbps\n", result.throughput_bps() / 1e9);

@@ -19,14 +19,14 @@ int main() {
     cfg.scheme = scheme;
     cfg.workload = WorkloadKind::kStride;
     cfg.stride = 8;
-    cfg.flow_bytes = 50 * 1024 * 1024;
+    cfg.flow_bytes = sim::mebibytes(50);
     cfg.seed = 1;
     const auto result = run_experiment(cfg);
 
     std::printf("\n%s — stride(8), 50 MiB flows\n",
                 workload::scheme_name(scheme));
     std::printf("  avg flow throughput : %.2f Gbps\n",
-                result.avg_flow_throughput_bps / 1e9);
+                result.avg_flow_throughput.count() / 1e9);
     std::printf("  makespan            : %.1f ms\n",
                 sim::to_milliseconds(result.makespan));
     std::printf("  reroutes            : %llu\n",

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   sim::Simulation simulation;
   const net::TopologyGraph graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::TestbedConfig config;
   config.collector_config.sample_ring_capacity = 4096;
   workload::Testbed bed(simulation, graph, config);

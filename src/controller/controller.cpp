@@ -109,8 +109,8 @@ void Controller::push_route_views() {
     collector->update_route_view(views[node]);
     for (int port = 0; port < graph_.num_ports(node); ++port) {
       if (graph_.wired(node, port)) {
-        collector->set_link_capacity(port,
-                                     graph_.link_spec(node, port).rate_bps);
+        collector->set_link_capacity(
+            port, graph_.link_spec(node, port).rate.count());
       }
     }
   }

@@ -84,7 +84,6 @@ double Collector::link_utilization_bps(int out_port) const {
 std::vector<FlowRate> Collector::flows_on_link(int out_port) const {
   std::vector<FlowRate> out;
   if (!online_) return out;
-  // planck-lint: allow(unordered-iteration) — collect-then-sort below
   for (const auto& [key, rec] : flows_.flows()) {
     if (rec.out_port != out_port || rec.contributing_bps <= 0.0) continue;
     out.push_back(FlowRate{key, rec.src_mac, rec.dst_mac, rec.rate_bps()});

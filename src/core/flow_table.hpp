@@ -71,7 +71,6 @@ class FlowTable {
   /// particular) in a reproducible sequence.
   std::vector<FlowRecord> evict_idle(sim::Time cutoff) {
     std::vector<FlowRecord> evicted;
-    // planck-lint: allow(unordered-iteration) — collect-then-sort
     for (auto it = flows_.begin(); it != flows_.end();) {
       if (it->second.last_seen < cutoff) {
         evicted.push_back(it->second);

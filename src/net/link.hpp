@@ -5,8 +5,10 @@
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "sim/contract.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
+#include "sim/units.hpp"
 
 namespace planck::net {
 
@@ -19,12 +21,17 @@ namespace planck::net {
 /// fault plane). While down the transmitter keeps its drain timing — frames
 /// occupy the line as usual — but nothing is delivered, and frames already
 /// in flight when the link goes down are lost (the epoch guard below).
+///
+/// Byte conservation (PLANCK_CONTRACT, Debug/ASan/fuzz builds): every byte
+/// put on the wire is delivered, lost mid-flight to an admin-down, or still
+/// in flight — delivered + lost + in_flight == sent, checked at every
+/// transmit and delivery.
 class Link {
  public:
-  Link(sim::Simulation& simulation, std::int64_t rate_bps,
+  Link(sim::Simulation& simulation, sim::BitsPerSec rate,
        sim::Duration propagation)
-      : sim_(simulation), rate_bps_(rate_bps), propagation_(propagation) {
-    assert(rate_bps > 0);
+      : sim_(simulation), rate_(rate), propagation_(propagation) {
+    assert(rate.count() > 0);
   }
 
   Link(const Link&) = delete;
@@ -37,7 +44,7 @@ class Link {
   }
 
   bool connected() const { return dst_ != nullptr; }
-  std::int64_t rate_bps() const { return rate_bps_; }
+  sim::BitsPerSec rate() const { return rate_; }
   sim::Duration propagation() const { return propagation_; }
 
   /// Time at which the line becomes idle (>= now when busy).
@@ -72,7 +79,7 @@ class Link {
     assert(!busy());
     assert(connected());
     const double exact_ns = static_cast<double>(packet.wire_size()) * 8.0 *
-                                1e9 / static_cast<double>(rate_bps_) +
+                                1e9 / static_cast<double>(rate_.count()) +
                             carry_ns_;
     auto ser = static_cast<sim::Duration>(exact_ns);
     if (ser < 1) ser = 1;
@@ -87,33 +94,55 @@ class Link {
     sim_.schedule_packet(ser + propagation_, this, epoch_, &Link::deliver,
                          packet);
     ++packets_sent_;
-    bytes_sent_ += packet.wire_size();
+    bytes_sent_ += packet.wire_bytes();
+    bytes_in_flight_ += packet.wire_bytes();
+    check_conservation();
     return free_at_;
   }
 
   /// Serialization time for a packet of this size on this link.
   sim::Duration serialization(const Packet& packet) const {
-    return sim::serialization_delay(packet.wire_size(), rate_bps_);
+    return sim::serialization_delay(packet.wire_bytes(), rate_);
   }
 
-  std::uint64_t packets_sent() const { return packets_sent_; }
-  std::int64_t bytes_sent() const { return bytes_sent_; }
+  sim::Packets packets_sent() const { return packets_sent_; }
+  sim::Bytes bytes_sent() const { return bytes_sent_; }
+  sim::Bytes bytes_delivered() const { return bytes_delivered_; }
+  /// Bytes put on the wire but lost mid-flight to an admin-down.
+  sim::Bytes bytes_lost() const { return bytes_lost_; }
+  /// Bytes currently between the two ends of the wire.
+  sim::Bytes bytes_in_flight() const { return bytes_in_flight_; }
   /// Frames lost to the wire being administratively down (at transmit time
   /// or mid-flight).
   std::uint64_t down_drops() const { return down_drops_; }
 
+  /// Per-link byte-conservation contract body (see class comment). Public
+  /// so tests and the fuzz plane can probe it directly.
+  void check_conservation() const {
+    PLANCK_CONTRACT(
+        bytes_sent_ == bytes_delivered_ + bytes_lost_ + bytes_in_flight_,
+        "link bytes: delivered + lost + in-flight == sent");
+    PLANCK_CONTRACT(bytes_in_flight_ >= sim::Bytes{0},
+                    "link in-flight byte count is non-negative");
+  }
+
  private:
   static void deliver(void* self, std::uint32_t epoch, const Packet& packet) {
     auto* link = static_cast<Link*>(self);
+    link->bytes_in_flight_ -= packet.wire_bytes();
     if (epoch != link->epoch_) {
       ++link->down_drops_;  // link went down while the frame was in flight
+      link->bytes_lost_ += packet.wire_bytes();
+      link->check_conservation();
       return;
     }
+    link->bytes_delivered_ += packet.wire_bytes();
+    link->check_conservation();
     link->dst_->handle_packet(packet, link->dst_port_);
   }
 
   sim::Simulation& sim_;
-  std::int64_t rate_bps_;
+  sim::BitsPerSec rate_;
   sim::Duration propagation_;
   Node* dst_ = nullptr;
   int dst_port_ = 0;
@@ -121,8 +150,11 @@ class Link {
   double carry_ns_ = 0.0;
   bool admin_up_ = true;
   std::uint32_t epoch_ = 0;
-  std::uint64_t packets_sent_ = 0;
-  std::int64_t bytes_sent_ = 0;
+  sim::Packets packets_sent_{0};
+  sim::Bytes bytes_sent_{0};
+  sim::Bytes bytes_delivered_{0};
+  sim::Bytes bytes_lost_{0};
+  sim::Bytes bytes_in_flight_{0};
   std::uint64_t down_drops_ = 0;
 };
 

@@ -5,6 +5,7 @@
 
 #include "net/addresses.hpp"
 #include "sim/time.hpp"
+#include "sim/units.hpp"
 
 namespace planck::net {
 
@@ -146,6 +147,12 @@ struct Packet {
 
   /// Bytes of link time the packet occupies, including preamble + IPG.
   std::int64_t wire_size() const { return frame_size() + kWireGap; }
+
+  /// Typed views of the two sizes, for code on the units system
+  /// (src/sim/units.hpp); the raw accessors above remain the only place
+  /// the header arithmetic itself lives.
+  sim::Bytes frame_bytes() const { return sim::Bytes{frame_size()}; }
+  sim::Bytes wire_bytes() const { return sim::Bytes{wire_size()}; }
 };
 
 }  // namespace planck::net

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/units.hpp"
 
 namespace planck::net {
 
@@ -22,7 +23,7 @@ struct PortRef {
 
 /// Physical properties of a cable.
 struct LinkSpec {
-  std::int64_t rate_bps = 10'000'000'000;  // 10 Gbps default
+  sim::BitsPerSec rate = sim::gigabits_per_sec(10);
   sim::Duration propagation = sim::microseconds(1);
 };
 

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace planck::sim {
+
+/// Strong dimensional types for the quantities Planck's claims are made of
+/// (see DESIGN.md section 7 for the catalogue and the conversion-naming
+/// rules). A silent bytes-vs-bits or bytes-vs-rate mix-up anywhere in the
+/// buffer/link/TE arithmetic invalidates every figure we reproduce, so the
+/// units are encoded in the type system:
+///
+///   Bytes        payload/frame/buffer sizes          (int64 rep)
+///   Bits         on-the-wire bit counts              (int64 rep)
+///   BitsPerSec   configured link/line rates, exact   (int64 rep)
+///   BitsPerSecF  measured/estimated rates            (double rep)
+///   Packets      frame counts                        (uint64 rep)
+///
+/// A Quantity wraps its representation with zero overhead: construction
+/// from a raw number is explicit, same-unit arithmetic and comparisons are
+/// allowed, cross-unit arithmetic does not compile. Crossing units goes
+/// through the named conversion functions at the bottom of this header
+/// (to_bits, to_bytes, per_second, rate_of, bytes_in, serialization_delay)
+/// — the only sanctioned crossings, and the names planck-lint's
+/// unit-mixing check recognises.
+///
+/// Adding a new unit (DESIGN.md section 7 has the worked recipe):
+///   1. declare a tag struct and a Quantity alias here,
+///   2. add a lowercase constructor helper (like `bytes()` below),
+///   3. add named conversions to/from adjacent units,
+///   4. teach planck-lint's NAMED_CONVERSIONS list the new names.
+template <class Tag, class Rep>
+class Quantity {
+ public:
+  using rep = Rep;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(Rep value) : v_(value) {}
+
+  /// Cross-representation conversion within the same dimension (e.g. an
+  /// exact BitsPerSec link rate viewed as a BitsPerSecF estimate). Explicit
+  /// so the (possibly lossy) rep change is visible at the call site.
+  template <class Rep2>
+  constexpr explicit Quantity(Quantity<Tag, Rep2> other)
+      : v_(static_cast<Rep>(other.count())) {}
+
+  /// The raw number, in this unit. The one sanctioned exit to raw
+  /// arithmetic (printing, stats, boundary APIs).
+  constexpr Rep count() const { return v_; }
+
+  // Same-unit arithmetic.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(static_cast<Rep>(a.v_ + b.v_));
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(static_cast<Rep>(a.v_ - b.v_));
+  }
+  constexpr Quantity operator-() const {
+    return Quantity(static_cast<Rep>(-v_));
+  }
+  constexpr Quantity& operator+=(Quantity other) {
+    v_ = static_cast<Rep>(v_ + other.v_);
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    v_ = static_cast<Rep>(v_ - other.v_);
+    return *this;
+  }
+  constexpr Quantity& operator++() {
+    v_ = static_cast<Rep>(v_ + 1);
+    return *this;
+  }
+
+  // Scaling by a dimensionless factor.
+  friend constexpr Quantity operator*(Quantity a, Rep s) {
+    return Quantity(static_cast<Rep>(a.v_ * s));
+  }
+  friend constexpr Quantity operator*(Rep s, Quantity a) {
+    return Quantity(static_cast<Rep>(s * a.v_));
+  }
+  friend constexpr Quantity operator/(Quantity a, Rep s) {
+    return Quantity(static_cast<Rep>(a.v_ / s));
+  }
+  /// Ratio of same-dimension quantities is dimensionless.
+  friend constexpr double ratio(Quantity a, Quantity b) {
+    return static_cast<double>(a.v_) / static_cast<double>(b.v_);
+  }
+
+  friend constexpr bool operator==(Quantity, Quantity) = default;
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  Rep v_{};
+};
+
+struct BytesTag {};
+struct BitsTag {};
+struct BitsPerSecTag {};
+struct PacketsTag {};
+
+using Bytes = Quantity<BytesTag, std::int64_t>;
+using Bits = Quantity<BitsTag, std::int64_t>;
+/// Exact (configured) rate: link speeds, caps. Integer so serialization
+/// arithmetic stays bit-for-bit reproducible.
+using BitsPerSec = Quantity<BitsPerSecTag, std::int64_t>;
+/// Measured/estimated rate: collector estimates, TE loads, demand math.
+using BitsPerSecF = Quantity<BitsPerSecTag, double>;
+using Packets = Quantity<PacketsTag, std::uint64_t>;
+
+// Lowercase constructor helpers, so call sites read like the paper's prose.
+constexpr Bytes bytes(std::int64_t n) { return Bytes{n}; }
+constexpr Bytes kibibytes(std::int64_t n) { return Bytes{n * 1024}; }
+constexpr Bytes mebibytes(std::int64_t n) { return Bytes{n * 1024 * 1024}; }
+constexpr Bits bits(std::int64_t n) { return Bits{n}; }
+constexpr BitsPerSec bits_per_sec(std::int64_t n) { return BitsPerSec{n}; }
+constexpr BitsPerSec megabits_per_sec(std::int64_t n) {
+  return BitsPerSec{n * 1'000'000};
+}
+constexpr BitsPerSec gigabits_per_sec(std::int64_t n) {
+  return BitsPerSec{n * 1'000'000'000};
+}
+constexpr Packets packets(std::uint64_t n) { return Packets{n}; }
+
+// --- Named conversions: the only sanctioned unit crossings ---------------
+
+/// Bytes on a frame/buffer → bits on the wire.
+constexpr Bits to_bits(Bytes b) { return Bits{b.count() * 8}; }
+
+/// Whole bytes contained in a bit count (truncating; wire math that needs
+/// the remainder should stay in Bits).
+constexpr Bytes to_bytes(Bits b) { return Bytes{b.count() / 8}; }
+
+/// An exact configured rate viewed as an estimate/load operand.
+constexpr BitsPerSecF to_rate_estimate(BitsPerSec r) {
+  return BitsPerSecF{static_cast<double>(r.count())};
+}
+
+/// Rate implied by `b` bits observed over `d`: the rate-from-delta
+/// conversion every poller/estimator uses.
+constexpr BitsPerSecF per_second(Bits b, Duration d) {
+  return BitsPerSecF{static_cast<double>(b.count()) / to_seconds(d)};
+}
+
+/// Rate implied by `b` bytes observed over `d`.
+constexpr BitsPerSecF rate_of(Bytes b, Duration d) {
+  return per_second(to_bits(b), d);
+}
+
+/// Time needed to put `size` on a line of `rate` (rounds up, nonzero for a
+/// nonempty frame). Typed overload of sim::serialization_delay.
+constexpr Duration serialization_delay(Bytes size, BitsPerSec rate) {
+  return serialization_delay(size.count(), rate.count());
+}
+
+/// Bytes that fit on a line of `rate` during `d`. Typed overload of
+/// sim::bytes_in.
+constexpr Bytes bytes_in(Duration d, BitsPerSec rate) {
+  return Bytes{bytes_in(d, rate.count())};
+}
+
+}  // namespace planck::sim

@@ -6,6 +6,7 @@
 
 #include "net/addresses.hpp"
 #include "net/packet.hpp"
+#include "sim/units.hpp"
 
 namespace planck::switchsim {
 
@@ -24,8 +25,8 @@ struct RuleActions {
 /// Byte/packet counters, pollable by measurement baselines (§2.3: the
 /// "flow counters" that Hedera/DevoFlow-style systems read).
 struct RuleCounters {
-  std::uint64_t packets = 0;
-  std::uint64_t bytes = 0;
+  sim::Packets packets{0};
+  sim::Bytes bytes{0};
 };
 
 /// The switch's match-action state: an exact-match L2 table (destination

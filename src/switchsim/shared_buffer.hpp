@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/contract.hpp"
+#include "sim/units.hpp"
+
 namespace planck::switchsim {
 
 /// Configuration of a switch's packet memory, modelled on the Broadcom
@@ -12,10 +15,10 @@ namespace planck::switchsim {
 /// admission for the shared pool. With alpha = 0.8 a single congested port
 /// stabilizes at alpha/(1+alpha) * pool ~= 4 MB, the paper's figure.
 struct BufferConfig {
-  std::int64_t total_bytes = 9 * 1024 * 1024;
+  sim::Bytes total_bytes = sim::mebibytes(9);
   double alpha = 0.8;
   /// Dedicated bytes per port, usable only by that port.
-  std::int64_t per_port_reserve = 2 * 1518;
+  sim::Bytes per_port_reserve = sim::bytes(2 * 1518);
 };
 
 /// Shared-memory buffer accounting with Dynamic Threshold admission.
@@ -26,79 +29,122 @@ struct BufferConfig {
 /// additionally carry a hard cap (set_port_cap) — the paper infers the IBM
 /// G8264 gives mirror ports a fixed allocation (Figure 9), and the
 /// "minbuffer" configuration of Table 1 shrinks that cap to a few frames.
+///
+/// Conservation contracts (PLANCK_CONTRACT, Debug/ASan/fuzz builds): after
+/// every mutation, the sum of per-port shared occupancy equals the pool's
+/// used counter, the pool never exceeds its physical size, and no port
+/// exceeds its hard cap. The tools/fuzz/fuzz_dt_buffer harness drives
+/// random admit/release/reconfigure sequences against these as its oracle.
 class SharedBuffer {
  public:
   SharedBuffer(const BufferConfig& config, int num_ports)
       : config_(config),
-        queue_bytes_(static_cast<std::size_t>(num_ports), 0),
-        port_cap_(static_cast<std::size_t>(num_ports), -1) {
+        queue_bytes_(static_cast<std::size_t>(num_ports)),
+        port_cap_(static_cast<std::size_t>(num_ports), kNoCap) {
     shared_total_ =
-        config.total_bytes - config.per_port_reserve * num_ports;
-    assert(shared_total_ >= 0);
+        config.total_bytes -
+        config.per_port_reserve * static_cast<std::int64_t>(num_ports);
+    assert(shared_total_ >= sim::Bytes{0});
   }
 
-  /// Attempts to admit `bytes` to `port`'s queue; true and accounted on
-  /// success, false (caller drops the packet) otherwise.
-  bool admit(int port, std::int64_t bytes) {
-    auto& q = queue_bytes_[static_cast<std::size_t>(port)];
-    const std::int64_t cap = port_cap_[static_cast<std::size_t>(port)];
-    if (cap >= 0 && q + bytes > cap) return false;
+  /// Sentinel for "no hard cap on this port".
+  static constexpr sim::Bytes kNoCap = sim::Bytes{-1};
 
-    const std::int64_t old_shared = shared_part(q);
-    const std::int64_t new_shared = shared_part(q + bytes);
-    const std::int64_t delta = new_shared - old_shared;
-    if (delta > 0) {
-      const std::int64_t shared_free = shared_total_ - shared_used_;
+  /// Attempts to admit `size` to `port`'s queue; true and accounted on
+  /// success, false (caller drops the packet) otherwise.
+  bool admit(int port, sim::Bytes size) {
+    auto& q = queue_bytes_[static_cast<std::size_t>(port)];
+    const sim::Bytes cap = port_cap_[static_cast<std::size_t>(port)];
+    if (cap >= sim::Bytes{0} && q + size > cap) return false;
+
+    const sim::Bytes old_shared = shared_part(q);
+    const sim::Bytes new_shared = shared_part(q + size);
+    const sim::Bytes delta = new_shared - old_shared;
+    if (delta > sim::Bytes{0}) {
+      const sim::Bytes shared_free = shared_total_ - shared_used_;
       // DT drop condition: the port's shared occupancy has reached
       // alpha * free. Also never exceed physical memory.
-      if (static_cast<double>(old_shared) >=
-              config_.alpha * static_cast<double>(shared_free) ||
+      if (static_cast<double>(old_shared.count()) >=
+              config_.alpha * static_cast<double>(shared_free.count()) ||
           delta > shared_free) {
         return false;
       }
+      PLANCK_CONTRACT(static_cast<double>(old_shared.count()) <
+                          config_.alpha *
+                              static_cast<double>(shared_free.count()),
+                      "DT admits only below the alpha threshold");
       shared_used_ += delta;
     }
-    q += bytes;
+    q += size;
+    check_conservation();
     return true;
   }
 
-  /// Returns `bytes` previously admitted to `port`.
-  void release(int port, std::int64_t bytes) {
+  /// Returns `size` previously admitted to `port`.
+  void release(int port, sim::Bytes size) {
     auto& q = queue_bytes_[static_cast<std::size_t>(port)];
-    assert(q >= bytes);
-    const std::int64_t delta = shared_part(q) - shared_part(q - bytes);
+    assert(q >= size);
+    const sim::Bytes delta = shared_part(q) - shared_part(q - size);
     shared_used_ -= delta;
-    assert(shared_used_ >= 0);
-    q -= bytes;
+    assert(shared_used_ >= sim::Bytes{0});
+    q -= size;
+    check_conservation();
   }
 
-  std::int64_t queue_bytes(int port) const {
+  sim::Bytes queue_bytes(int port) const {
     return queue_bytes_[static_cast<std::size_t>(port)];
   }
-  std::int64_t shared_used() const { return shared_used_; }
-  std::int64_t shared_total() const { return shared_total_; }
-
-  /// Hard cap on a port's total queue depth; -1 removes the cap.
-  void set_port_cap(int port, std::int64_t cap) {
-    port_cap_[static_cast<std::size_t>(port)] = cap;
+  sim::Bytes shared_used() const { return shared_used_; }
+  sim::Bytes shared_total() const { return shared_total_; }
+  /// Total occupancy across every port (reserved + shared parts).
+  sim::Bytes total_used() const {
+    sim::Bytes total{0};
+    for (const sim::Bytes q : queue_bytes_) total += q;
+    return total;
   }
-  std::int64_t port_cap(int port) const {
+
+  /// Hard cap on a port's total queue depth; kNoCap removes the cap.
+  void set_port_cap(int port, sim::Bytes cap) {
+    port_cap_[static_cast<std::size_t>(port)] = cap;
+    check_conservation();
+  }
+  sim::Bytes port_cap(int port) const {
     return port_cap_[static_cast<std::size_t>(port)];
   }
 
   const BufferConfig& config() const { return config_; }
 
+  /// DT-conservation contract body, run after every mutation in contract
+  /// builds. O(ports); public so the fuzz oracle can invoke it directly.
+  void check_conservation() const {
+#if PLANCK_CONTRACTS_ENABLED
+    sim::Bytes shared_sum{0};
+    sim::Bytes total{0};
+    for (const sim::Bytes q : queue_bytes_) {
+      PLANCK_CONTRACT(q >= sim::Bytes{0}, "port occupancy is non-negative");
+      shared_sum += shared_part(q);
+      total += q;
+    }
+    PLANCK_CONTRACT(shared_sum == shared_used_,
+                    "sum of per-port shared occupancy == pool used");
+    PLANCK_CONTRACT(shared_used_ <= shared_total_,
+                    "shared pool never exceeds its physical size");
+    PLANCK_CONTRACT(total <= config_.total_bytes,
+                    "total occupancy never exceeds physical memory");
+#endif
+  }
+
  private:
-  std::int64_t shared_part(std::int64_t q) const {
-    const std::int64_t over = q - config_.per_port_reserve;
-    return over > 0 ? over : 0;
+  sim::Bytes shared_part(sim::Bytes q) const {
+    const sim::Bytes over = q - config_.per_port_reserve;
+    return over > sim::Bytes{0} ? over : sim::Bytes{0};
   }
 
   BufferConfig config_;
-  std::int64_t shared_total_ = 0;
-  std::int64_t shared_used_ = 0;
-  std::vector<std::int64_t> queue_bytes_;
-  std::vector<std::int64_t> port_cap_;
+  sim::Bytes shared_total_{0};
+  sim::Bytes shared_used_{0};
+  std::vector<sim::Bytes> queue_bytes_;
+  std::vector<sim::Bytes> port_cap_;
 };
 
 }  // namespace planck::switchsim

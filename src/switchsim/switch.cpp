@@ -45,16 +45,18 @@ void Switch::flush_queue(int port) {
   const std::size_t keep = p.draining ? 1 : 0;
   while (p.queue.size() > keep) {
     const net::Packet& pkt = p.queue.back();
-    buffer_.release(port, pkt.frame_size());
+    buffer_.release(port, pkt.frame_bytes());
     ++p.counters.drops;
-    p.counters.drop_bytes += pkt.frame_size();
+    p.counters.drop_bytes += pkt.frame_bytes();
     ++fault_drops_;
     p.queue.pop_back();
   }
 }
 
 void Switch::set_mirroring(int monitor_port) {
-  if (monitor_port_ >= 0) buffer_.set_port_cap(monitor_port_, -1);
+  if (monitor_port_ >= 0) {
+    buffer_.set_port_cap(monitor_port_, SharedBuffer::kNoCap);
+  }
   monitor_port_ = monitor_port;
   if (monitor_port_ >= 0) {
     buffer_.set_port_cap(monitor_port_, config_.monitor_port_cap);
@@ -65,14 +67,14 @@ int Switch::route(net::Packet& packet) {
   // Highest priority: exact-match flow rules (OpenFlow reroutes).
   if (auto* flow = rules_.find_flow(packet.flow_key())) {
     ++flow->counters.packets;
-    flow->counters.bytes += packet.frame_size();
+    flow->counters.bytes += packet.frame_bytes();
     if (flow->actions.set_dst_mac) packet.dst_mac = *flow->actions.set_dst_mac;
     if (flow->actions.out_port) return *flow->actions.out_port;
     // Fall through: re-resolve from the (rewritten) destination MAC.
   }
   if (auto* mac = rules_.find_mac(packet.dst_mac)) {
     ++mac->counters.packets;
-    mac->counters.bytes += packet.frame_size();
+    mac->counters.bytes += packet.frame_bytes();
     const int out = mac->actions.out_port.value_or(-1);
     if (mac->actions.set_dst_mac) packet.dst_mac = *mac->actions.set_dst_mac;
     return out;
@@ -87,7 +89,7 @@ void Switch::handle_packet(const net::Packet& packet, int in_port) {
   }
   auto& in_counters = ports_[static_cast<std::size_t>(in_port)].counters;
   ++in_counters.rx_packets;
-  in_counters.rx_bytes += packet.frame_size();
+  in_counters.rx_bytes += packet.frame_bytes();
 
   net::Packet pkt = packet;
   // The mirror replica is taken before any egress MAC rewrite so the
@@ -105,7 +107,7 @@ void Switch::handle_packet(const net::Packet& packet, int in_port) {
     // "flows" measure as ~zero (they must not look like elephants).
     auto& fc = flow_counters_[pkt.flow_key()];
     ++fc.packets;
-    fc.bytes += pkt.payload;
+    fc.bytes += sim::Bytes{pkt.payload};
   }
 
   pkt.oracle_in_port = static_cast<std::int16_t>(in_port);
@@ -149,13 +151,13 @@ void Switch::enqueue(int port, const net::Packet& packet, bool is_mirror) {
   if (!online_ || !p.admin_up) {
     ++fault_drops_;
     ++p.counters.drops;
-    p.counters.drop_bytes += packet.frame_size();
+    p.counters.drop_bytes += packet.frame_bytes();
     if (is_mirror) ++mirror_drops_;
     return;
   }
-  if (!buffer_.admit(port, packet.frame_size())) {
+  if (!buffer_.admit(port, packet.frame_bytes())) {
     ++p.counters.drops;
-    p.counters.drop_bytes += packet.frame_size();
+    p.counters.drop_bytes += packet.frame_bytes();
     if (is_mirror) ++mirror_drops_;
     return;
   }
@@ -185,8 +187,8 @@ void Switch::finish_tx(int port) {
   assert(!p.queue.empty());
   const net::Packet& pkt = p.queue.front();
   ++p.counters.tx_packets;
-  p.counters.tx_bytes += pkt.frame_size();
-  buffer_.release(port, pkt.frame_size());
+  p.counters.tx_bytes += pkt.frame_bytes();
+  buffer_.release(port, pkt.frame_bytes());
   p.queue.pop_front();
   start_tx(port);
 }

@@ -24,7 +24,7 @@ struct SwitchConfig {
   /// Default models the fixed ~4 MB allocation the paper infers for the
   /// IBM G8264 (Figure 9). The Table-1 "minbuffer" configuration sets this
   /// to a couple of frames.
-  std::int64_t monitor_port_cap = 4 * 1024 * 1024;
+  sim::Bytes monitor_port_cap = sim::mebibytes(4);
 
   /// Maintain per-5-tuple forwarding counters (NetFlow-style, §2.3), which
   /// the polling TE baselines read. Planck itself never uses these.
@@ -52,13 +52,13 @@ struct SwitchConfig {
 
 /// Per-port traffic counters.
 struct PortCounters {
-  std::uint64_t rx_packets = 0;
-  std::uint64_t rx_bytes = 0;
-  std::uint64_t tx_packets = 0;
-  std::uint64_t tx_bytes = 0;
+  sim::Packets rx_packets{0};
+  sim::Bytes rx_bytes{0};
+  sim::Packets tx_packets{0};
+  sim::Bytes tx_bytes{0};
   /// Packets refused admission to this port's queue (tail drop).
-  std::uint64_t drops = 0;
-  std::uint64_t drop_bytes = 0;
+  sim::Packets drops{0};
+  sim::Bytes drop_bytes{0};
 };
 
 /// An output-queued shared-buffer switch with port mirroring.
@@ -150,7 +150,7 @@ class Switch : public net::Node {
   SharedBuffer& buffer() { return buffer_; }
   const SharedBuffer& buffer() const { return buffer_; }
 
-  std::int64_t queue_depth_bytes(int port) const {
+  sim::Bytes queue_depth_bytes(int port) const {
     return buffer_.queue_bytes(port);
   }
   std::size_t queue_depth_packets(int port) const {

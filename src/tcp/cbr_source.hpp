@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "sim/simulation.hpp"
+#include "sim/units.hpp"
 #include "sim/timer.hpp"
 #include "tcp/host.hpp"
 
@@ -16,17 +17,18 @@ class CbrSource {
  public:
   CbrSource(sim::Simulation& simulation, Host& host, net::IpAddress dst_ip,
             std::uint16_t src_port, std::uint16_t dst_port,
-            std::int64_t rate_bps, std::int64_t payload_bytes = net::kMss)
+            sim::BitsPerSec rate,
+            sim::Bytes payload = sim::Bytes{net::kMss})
       : sim_(simulation),
         host_(host),
         dst_ip_(dst_ip),
         src_port_(src_port),
         dst_port_(dst_port),
-        payload_(payload_bytes),
+        payload_(payload.count()),
         interval_(sim::serialization_delay(
-            payload_bytes + net::kTcpHeader + net::kIpHeader +
-                net::kEthernetOverhead + net::kWireGap,
-            rate_bps)),
+            payload + sim::bytes(net::kTcpHeader + net::kIpHeader +
+                                 net::kEthernetOverhead + net::kWireGap),
+            rate)),
         timer_(simulation, [this] { tick(); }) {}
 
   void start() { timer_.schedule(0); }

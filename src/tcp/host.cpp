@@ -66,7 +66,7 @@ bool Host::send(net::Packet packet) {
     }
   }
   if (packet.first_sent_at == 0) packet.first_sent_at = sim_.now();
-  const std::int64_t frame = packet.frame_size();
+  const sim::Bytes frame = packet.frame_bytes();
   if (nic_bytes_ + frame > config_.nic_queue_bytes) {
     ++nic_drops_;
     return false;
@@ -84,7 +84,7 @@ void Host::start_tx() {
   }
   if (link_ == nullptr) {
     nic_queue_.clear();
-    nic_bytes_ = 0;
+    nic_bytes_ = sim::Bytes{0};
     nic_draining_ = false;
     return;
   }
@@ -93,7 +93,7 @@ void Host::start_tx() {
   // packet trains the way real kernel/NIC pipelines do.
   if (config_.sender_stall_max > 0 &&
       train_bytes_ >= config_.stall_every_bytes) {
-    train_bytes_ = 0;
+    train_bytes_ = sim::Bytes{0};
     const auto stall = config_.sender_stall_min +
                        static_cast<sim::Duration>(rng_.below(
                            static_cast<std::uint64_t>(
@@ -109,7 +109,7 @@ void Host::start_tx() {
   net::Packet& pkt = nic_queue_.front();
   pkt.sent_at = sim_.now();  // the "tcpdump at the sender" timestamp (§5.2)
   if (tx_hook_) tx_hook_(pkt);
-  train_bytes_ += pkt.frame_size();
+  train_bytes_ += pkt.frame_bytes();
   const sim::Time done = link_->transmit(pkt);
   sim_.schedule_call_at(done, this, 0, [](void* self, std::uint32_t) {
     static_cast<Host*>(self)->finish_tx();
@@ -118,7 +118,7 @@ void Host::start_tx() {
 
 void Host::finish_tx() {
   assert(!nic_queue_.empty());
-  nic_bytes_ -= nic_queue_.front().frame_size();
+  nic_bytes_ -= nic_queue_.front().frame_bytes();
   nic_queue_.pop_front();
 
   if (!nic_waiters_.empty() &&

@@ -20,7 +20,7 @@ namespace planck::tcp {
 
 struct HostConfig {
   /// NIC/qdisc queue limit in bytes (Linux pfifo_fast of 1000 frames).
-  std::int64_t nic_queue_bytes = 1000 * net::kMtuFrame;
+  sim::Bytes nic_queue_bytes = sim::bytes(1000 * net::kMtuFrame);
   /// Minimum time between ARP-cache updates for one entry (Linux
   /// arp_locktime). The paper sets the sysctl so reroutes apply instantly;
   /// 0 models that tuned host.
@@ -36,7 +36,7 @@ struct HostConfig {
   /// `stall_every_bytes` the NIC pauses for U(sender_stall_min,
   /// sender_stall_max). Off by default; the Figure 5-7 bench enables it
   /// to reproduce the paper's sender-gap distribution.
-  std::int64_t stall_every_bytes = 64 * 1024;
+  sim::Bytes stall_every_bytes = sim::kibibytes(64);
   sim::Duration sender_stall_min = 0;
   sim::Duration sender_stall_max = 0;
   /// Seed for the host's local randomness (stall durations).
@@ -92,7 +92,7 @@ class Host : public net::Node {
   bool send(net::Packet packet);
 
   /// Bytes of NIC-queue headroom available.
-  std::int64_t nic_headroom() const {
+  sim::Bytes nic_headroom() const {
     return config_.nic_queue_bytes - nic_bytes_;
   }
 
@@ -105,7 +105,7 @@ class Host : public net::Node {
   void set_rx_hook(PacketHook hook) { rx_hook_ = std::move(hook); }
 
   std::uint64_t nic_drops() const { return nic_drops_; }
-  std::uint64_t rx_packets() const { return rx_packets_; }
+  sim::Packets rx_packets() const { return rx_packets_; }
   std::uint64_t arp_updates() const { return arp_updates_; }
 
   const std::vector<std::unique_ptr<TcpSender>>& senders() const {
@@ -140,10 +140,10 @@ class Host : public net::Node {
   std::unordered_map<net::IpAddress, ArpEntry> arp_cache_;
 
   std::deque<net::Packet> nic_queue_;
-  std::int64_t nic_bytes_ = 0;
+  sim::Bytes nic_bytes_{0};
   bool nic_draining_ = false;
   std::uint64_t nic_drops_ = 0;
-  std::int64_t train_bytes_ = 0;  // bytes sent since the last stall
+  sim::Bytes train_bytes_{0};  // bytes sent since the last stall
   sim::Rng rng_{0x5eed};
 
   std::vector<std::unique_ptr<TcpSender>> senders_;
@@ -156,7 +156,7 @@ class Host : public net::Node {
 
   PacketHook tx_hook_;
   PacketHook rx_hook_;
-  std::uint64_t rx_packets_ = 0;
+  sim::Packets rx_packets_{0};
   std::uint64_t arp_updates_ = 0;
   std::vector<TcpSender*> nic_waiters_;
 };

@@ -24,12 +24,12 @@ TcpSender::TcpSender(sim::Simulation& simulation, Host& host,
       key_(key),
       config_(config),
       on_complete_(std::move(on_complete)),
-      total_bytes_(total_bytes),
+      total_bytes_(sim::Bytes{total_bytes}),
       cwnd_(static_cast<double>(config.initial_cwnd_segments * config.mss)),
       ssthresh_(kHugeWindow),
       rto_(config.initial_rto),
       rto_timer_(simulation, [this] { on_rto(); }) {
-  stats_.total_bytes = total_bytes;
+  stats_.total_bytes = sim::Bytes{total_bytes};
 }
 
 void TcpSender::start() {
@@ -57,7 +57,7 @@ void TcpSender::handle_segment(const net::Packet& packet) {
       probe_seq_ = -1;
       state_ = State::kSlowStart;
       rto_backoff_ = 0;
-      if (total_bytes_ == 0) {
+      if (total_bytes_.count() == 0) {
         finish();
         return;
       }
@@ -124,9 +124,10 @@ void TcpSender::handle_segment(const net::Packet& packet) {
       case State::kSynSent:
         break;
     }
-    cwnd_ = std::min(cwnd_, static_cast<double>(config_.max_window_bytes));
+    cwnd_ = std::min(cwnd_,
+                     static_cast<double>(config_.max_window_bytes.count()));
 
-    if (snd_una_ >= total_bytes_) {
+    if (snd_una_ >= total_bytes_.count()) {
       finish();
       return;
     }
@@ -146,14 +147,14 @@ void TcpSender::handle_segment(const net::Packet& packet) {
 void TcpSender::try_send() {
   if (state_ == State::kSynSent || stats_.complete) return;
   const auto wnd = static_cast<std::int64_t>(
-      std::min(cwnd_, static_cast<double>(config_.max_window_bytes)));
-  while (next_seq_ < total_bytes_) {
+      std::min(cwnd_, static_cast<double>(config_.max_window_bytes.count())));
+  while (next_seq_ < total_bytes_.count()) {
     const std::int64_t inflight = next_seq_ - snd_una_;
     if (inflight >= wnd) break;
     const std::int64_t len =
-        std::min<std::int64_t>(config_.mss, total_bytes_ - next_seq_);
-    const std::int64_t wire =
-        len + net::kTcpHeader + net::kIpHeader + net::kEthernetOverhead;
+        std::min<std::int64_t>(config_.mss, total_bytes_.count() - next_seq_);
+    const sim::Bytes wire = sim::bytes(len + net::kTcpHeader +
+                                       net::kIpHeader + net::kEthernetOverhead);
     if (host_.nic_headroom() < wire) {
       if (!waiting_for_nic_) {
         waiting_for_nic_ = true;
@@ -186,7 +187,7 @@ void TcpSender::send_segment(std::int64_t seq, std::int64_t len,
   // Final segment of the transfer carries PSH, prompting an immediate ACK
   // at the receiver (as real stacks do), so an odd-sized tail does not sit
   // behind the delayed-ACK timer.
-  if (seq + len >= total_bytes_) pkt.flags |= net::kPsh;
+  if (seq + len >= total_bytes_.count()) pkt.flags |= net::kPsh;
   pkt.seq = static_cast<std::uint64_t>(seq);
   pkt.payload = static_cast<std::uint32_t>(len);
 
@@ -280,7 +281,7 @@ void TcpSender::enter_recovery() {
   state_ = State::kRecovery;
   cwnd_ = ssthresh_ + 3.0 * static_cast<double>(config_.mss);
   const std::int64_t len =
-      std::min<std::int64_t>(config_.mss, total_bytes_ - snd_una_);
+      std::min<std::int64_t>(config_.mss, total_bytes_.count() - snd_una_);
   send_segment(snd_una_, len, /*retransmit=*/true);
   high_rtx_ = snd_una_ + len;
   try_send();
@@ -299,9 +300,9 @@ void TcpSender::recovery_retransmit(const net::Packet& ack_packet) {
   }
   std::int64_t from = std::max(snd_una_, high_rtx_);
   int budget = 2;  // at most two repairs per ACK keeps the burst bounded
-  while (from < hole_end && from < total_bytes_ && budget-- > 0) {
+  while (from < hole_end && from < total_bytes_.count() && budget-- > 0) {
     const std::int64_t len = std::min<std::int64_t>(
-        config_.mss, std::min(hole_end - from, total_bytes_ - from));
+        config_.mss, std::min(hole_end - from, total_bytes_.count() - from));
     send_segment(from, len, /*retransmit=*/true);
     from += len;
   }
@@ -378,7 +379,7 @@ void TcpSender::finish() {
   fin.dst_port = key_.dst_port;
   fin.proto = key_.proto;
   fin.flags = net::kFin | net::kAck;
-  fin.seq = static_cast<std::uint64_t>(total_bytes_);
+  fin.seq = static_cast<std::uint64_t>(total_bytes_.count());
   host_.send(fin);
   ++stats_.packets_sent;
 

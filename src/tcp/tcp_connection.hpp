@@ -52,16 +52,16 @@ struct TcpConfig {
   /// Hard cap on the congestion window in bytes (Linux 3.5 default
   /// tcp_wmem/tcp_rmem max is ~4-6 MB; this also bounds how far slow
   /// start can overshoot a 4 MB switch buffer).
-  std::int64_t max_window_bytes = 6 * 1024 * 1024;
+  sim::Bytes max_window_bytes = sim::mebibytes(6);
 };
 
 /// Lifetime statistics of one flow.
 struct FlowStats {
-  std::int64_t total_bytes = 0;
+  sim::Bytes total_bytes{0};
   sim::Time started_at = 0;      // SYN enqueued
   sim::Time established_at = 0;  // SYN-ACK received
   sim::Time completed_at = 0;    // all data cumulatively ACKed
-  std::uint64_t packets_sent = 0;
+  sim::Packets packets_sent{0};
   std::uint64_t retransmits = 0;
   std::uint64_t timeouts = 0;
   bool complete = false;
@@ -69,7 +69,7 @@ struct FlowStats {
   /// Goodput over the flow's full lifetime, bits per second.
   double throughput_bps() const {
     if (!complete || completed_at <= started_at) return 0.0;
-    return static_cast<double>(total_bytes) * 8.0 /
+    return static_cast<double>(total_bytes.count()) * 8.0 /
            sim::to_seconds(completed_at - started_at);
   }
 };
@@ -130,7 +130,7 @@ class TcpSender {
   FlowStats stats_;
 
   State state_ = State::kSynSent;
-  std::int64_t total_bytes_;
+  sim::Bytes total_bytes_;
   std::int64_t next_seq_ = 0;      // next byte to send
   std::int64_t highest_sent_ = 0;  // end of the highest byte ever sent
   std::int64_t snd_una_ = 0;       // oldest unacknowledged byte

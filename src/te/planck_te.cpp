@@ -36,12 +36,13 @@ void PlanckTe::process_congestion(const core::CongestionEvent& event) {
     flow.key = fr.key;
     flow.src_host = src;
     flow.dst_host = dst;
-    flow.rate_bps = fr.rate_bps;
+    // Boundary: the collector's FlowRate carries a raw double estimate.
+    flow.rate_bps = sim::BitsPerSecF{fr.rate_bps};
     flow.last_heard = sim_.now();
     // Current tree: the controller's assignment is authoritative — samples
     // taken while a reroute propagates still carry the old routing MAC.
     flow.tree = controller_.tree_of(fr.key);
-    if (fr.rate_bps >= config_.min_rate_bps) notified.push_back(fr.key);
+    if (flow.rate_bps >= config_.min_rate_bps) notified.push_back(fr.key);
   }
 
   state_.remove_old_flows(sim_.now() - config_.flow_timeout);
@@ -66,10 +67,11 @@ void PlanckTe::greedy_route_flow(KnownFlow& flow, bool failover) {
   // Hysteresis: alternates must beat the current path by a real margin.
   // A dead current path has no bottleneck worth defending — anything
   // alive beats it.
-  double best_bottleneck;
+  sim::BitsPerSecF best_bottleneck;
   if (failover) {
     best_tree = -1;
-    best_bottleneck = -std::numeric_limits<double>::infinity();
+    best_bottleneck =
+        sim::BitsPerSecF{-std::numeric_limits<double>::infinity()};
   } else {
     best_bottleneck =
         state_.path_bottleneck(
@@ -83,7 +85,7 @@ void PlanckTe::greedy_route_flow(KnownFlow& flow, bool failover) {
         routing.path(flow.src_host, flow.dst_host, tree);
     // Never reroute onto equipment the controller believes dead.
     if (!controller_.path_alive(path)) continue;
-    const double bottleneck = state_.path_bottleneck(path, loads);
+    const sim::BitsPerSecF bottleneck = state_.path_bottleneck(path, loads);
     if (bottleneck > best_bottleneck) {
       best_bottleneck = bottleneck;
       best_tree = tree;

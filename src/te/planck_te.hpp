@@ -16,11 +16,11 @@ struct PlanckTeConfig {
   sim::Duration flow_timeout = sim::milliseconds(3);
   controller::RerouteMechanism mechanism = controller::RerouteMechanism::kArp;
   /// Ignore flows slower than this when rerouting (noise floor).
-  double min_rate_bps = 50e6;
+  sim::BitsPerSecF min_rate_bps{50e6};
   /// Only move a flow if the best alternate's expected bottleneck beats
   /// the current path's by at least this much — hysteresis so microscopic
   /// gains (a mouse sharing a link) don't trigger reroutes.
-  double min_improvement_bps = 500e6;
+  sim::BitsPerSecF min_improvement_bps{500e6};
   /// Do not move the same flow twice within this window: congestion
   /// notifications that arrive while a reroute is still propagating
   /// (~2.5-3.5 ms for ARP, §7.2) describe the pre-reroute world and acting

@@ -28,7 +28,7 @@ void PollTe::poll() {
 
   // Snapshot per-flow byte counters across all switches. A flow's bytes
   // are counted at several switches; take the maximum (its ingress count).
-  std::unordered_map<net::FlowKey, std::uint64_t, net::FlowKeyHash> bytes;
+  std::unordered_map<net::FlowKey, sim::Bytes, net::FlowKeyHash> bytes;
   for (const auto& [node, sw] : switches_) {
     // planck-lint: allow(unordered-iteration) — max-fold is commutative
     for (const auto& [key, counters] : sw->flow_counters()) {
@@ -48,8 +48,8 @@ void PollTe::poll() {
 
   std::vector<KnownFlow> flows;
   for (const net::FlowKey& key : keys) {
-    const std::uint64_t b = bytes.at(key);
-    const std::uint64_t prev = prev_bytes_[key];
+    const sim::Bytes b = bytes.at(key);
+    const sim::Bytes prev = prev_bytes_[key];
     prev_bytes_[key] = b;
     if (b <= prev || interval_s <= 0.0) continue;
     const int src = net::host_id_of_ip(key.src_ip);
@@ -60,7 +60,7 @@ void PollTe::poll() {
     flow.src_host = src;
     flow.dst_host = dst;
     flow.tree = controller_.tree_of(key);
-    flow.rate_bps = static_cast<double>(b - prev) * 8.0 / interval_s;
+    flow.rate_bps = sim::rate_of(b - prev, now - prev_poll_time_);
     flow.last_heard = now;
     flows.push_back(flow);
   }
@@ -167,10 +167,10 @@ void PollTe::place_flows(std::vector<KnownFlow> flows) {
   // estimation: the estimator assumes backlogged senders, and a phantom
   // full-rate demand for an ACK stream would poison placement.
   std::erase_if(flows, [&](const KnownFlow& f) {
-    const double line_rate = static_cast<double>(
+    const sim::BitsPerSecF line_rate = sim::to_rate_estimate(
         routing.graph()
             .link_spec(routing.graph().host_node(f.src_host), 0)
-            .rate_bps);
+            .rate);
     return f.rate_bps < 0.01 * line_rate;
   });
 
@@ -179,10 +179,10 @@ void PollTe::place_flows(std::vector<KnownFlow> flows) {
   const std::vector<double> demands =
       estimate_demands(flows, routing.num_hosts());
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    const double line_rate = static_cast<double>(
+    const sim::BitsPerSecF line_rate = sim::to_rate_estimate(
         routing.graph()
             .link_spec(routing.graph().host_node(flows[i].src_host), 0)
-            .rate_bps);
+            .rate);
     flows[i].rate_bps = demands[i] * line_rate;
   }
 
@@ -195,28 +195,32 @@ void PollTe::place_flows(std::vector<KnownFlow> flows) {
               return a.key < b.key;
             });
 
-  std::unordered_map<net::DirectedLink, double, net::DirectedLinkHash> loads;
-  auto add_load = [&](const net::RoutePath& path, double rate) {
+  std::unordered_map<net::DirectedLink, sim::BitsPerSecF,
+                     net::DirectedLinkHash>
+      loads;
+  auto add_load = [&](const net::RoutePath& path, sim::BitsPerSecF rate) {
     for (const net::PathHop& hop : path.hops) {
       loads[net::DirectedLink{hop.switch_node, hop.out_port}] += rate;
     }
   };
-  auto fits = [&](const net::RoutePath& path, double rate) {
+  auto fits = [&](const net::RoutePath& path, sim::BitsPerSecF rate) {
     for (const net::PathHop& hop : path.hops) {
-      const double capacity = static_cast<double>(
-          routing.graph().link_spec(hop.switch_node, hop.out_port).rate_bps);
-      const auto it = loads.find(net::DirectedLink{hop.switch_node, hop.out_port});
-      const double load = it == loads.end() ? 0.0 : it->second;
+      const sim::BitsPerSecF capacity = sim::to_rate_estimate(
+          routing.graph().link_spec(hop.switch_node, hop.out_port).rate);
+      const auto it =
+          loads.find(net::DirectedLink{hop.switch_node, hop.out_port});
+      const sim::BitsPerSecF load =
+          it == loads.end() ? sim::BitsPerSecF{0.0} : it->second;
       if (load + rate > capacity) return false;
     }
     return true;
   };
 
   for (KnownFlow& flow : flows) {
-    const double line_rate = static_cast<double>(
+    const sim::BitsPerSecF line_rate = sim::to_rate_estimate(
         routing.graph()
             .link_spec(routing.graph().host_node(flow.src_host), 0)
-            .rate_bps);
+            .rate);
     if (flow.rate_bps < config_.elephant_fraction * line_rate) {
       add_load(routing.path(flow.src_host, flow.dst_host, flow.tree),
                flow.rate_bps);

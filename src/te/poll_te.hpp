@@ -62,7 +62,7 @@ class PollTe {
   PollTeConfig config_;
 
   /// Previous byte counts per flow, for rate-from-delta.
-  std::unordered_map<net::FlowKey, std::uint64_t, net::FlowKeyHash>
+  std::unordered_map<net::FlowKey, sim::Bytes, net::FlowKeyHash>
       prev_bytes_;
   sim::Time prev_poll_time_ = 0;
 

@@ -8,6 +8,7 @@
 #include "net/packet.hpp"
 #include "net/route_info.hpp"
 #include "sim/time.hpp"
+#include "sim/units.hpp"
 
 namespace planck::te {
 
@@ -18,7 +19,7 @@ struct KnownFlow {
   int src_host = -1;
   int dst_host = -1;
   int tree = 0;
-  double rate_bps = 0.0;
+  sim::BitsPerSecF rate_bps{0.0};
   sim::Time last_heard = 0;
   /// When this flow was last rerouted; -1 if never. Used to ignore stale
   /// notifications that predate an in-flight reroute.
@@ -47,9 +48,11 @@ class TeState {
 
   /// Load on every directed link implied by the known flows, optionally
   /// excluding one flow (the one being rerouted).
-  std::unordered_map<net::DirectedLink, double, net::DirectedLinkHash>
+  std::unordered_map<net::DirectedLink, sim::BitsPerSecF,
+                     net::DirectedLinkHash>
   link_loads(const net::FlowKey* exclude = nullptr) const {
-    std::unordered_map<net::DirectedLink, double, net::DirectedLinkHash>
+    std::unordered_map<net::DirectedLink, sim::BitsPerSecF,
+                       net::DirectedLinkHash>
         loads;
     for (const auto& [key, flow] : flows_) {
       if (exclude != nullptr && key == *exclude) continue;
@@ -65,17 +68,18 @@ class TeState {
   /// DevoFlow Algorithm 1 (`find_path_btlneck`): the expected bottleneck
   /// capacity of `path` given `loads` — the minimum across its links of
   /// (capacity - load).
-  double path_bottleneck(
+  sim::BitsPerSecF path_bottleneck(
       const net::RoutePath& path,
-      const std::unordered_map<net::DirectedLink, double,
+      const std::unordered_map<net::DirectedLink, sim::BitsPerSecF,
                                net::DirectedLinkHash>& loads) const {
-    double bottleneck = std::numeric_limits<double>::infinity();
+    sim::BitsPerSecF bottleneck{std::numeric_limits<double>::infinity()};
     for (const net::PathHop& hop : path.hops) {
       const net::DirectedLink link{hop.switch_node, hop.out_port};
-      const double capacity = static_cast<double>(
-          routing_.graph().link_spec(hop.switch_node, hop.out_port).rate_bps);
+      const sim::BitsPerSecF capacity = sim::to_rate_estimate(
+          routing_.graph().link_spec(hop.switch_node, hop.out_port).rate);
       const auto it = loads.find(link);
-      const double load = it == loads.end() ? 0.0 : it->second;
+      const sim::BitsPerSecF load =
+          it == loads.end() ? sim::BitsPerSecF{0.0} : it->second;
       bottleneck = std::min(bottleneck, capacity - load);
     }
     return bottleneck;

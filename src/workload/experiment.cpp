@@ -39,7 +39,7 @@ const char* workload_name(WorkloadKind kind) {
 
 net::TopologyGraph make_experiment_graph(const ExperimentConfig& config) {
   net::LinkSpec spec;
-  spec.rate_bps = config.link_rate_bps;
+  spec.rate = config.link_rate;
   if (config.scheme == Scheme::kOptimal) {
     spec.propagation = config.host_link_propagation;
     return net::make_star(net::fat_tree::kNumHosts, spec);
@@ -100,7 +100,7 @@ namespace {
 class ShuffleDriver {
  public:
   ShuffleDriver(Testbed& bed, std::vector<std::vector<int>> orders,
-                std::int64_t bytes, int concurrency, sim::Time t0,
+                sim::Bytes bytes, int concurrency, sim::Time t0,
                 ExperimentResult& result)
       : bed_(bed),
         orders_(std::move(orders)),
@@ -123,7 +123,7 @@ class ShuffleDriver {
     if (idx >= orders_[static_cast<std::size_t>(host)].size()) return;
     const int dst = orders_[static_cast<std::size_t>(host)][idx++];
     bed_.host(host)->start_flow(
-        net::host_ip(dst), 5001, bytes_,
+        net::host_ip(dst), 5001, bytes_.count(),
         [this, host](const tcp::FlowStats& stats) {
           result_.flows.push_back(stats);
           if (--remaining_[static_cast<std::size_t>(host)] == 0) {
@@ -139,7 +139,7 @@ class ShuffleDriver {
 
   Testbed& bed_;
   std::vector<std::vector<int>> orders_;
-  std::int64_t bytes_;
+  sim::Bytes bytes_;
   sim::Time t0_;
   ExperimentResult& result_;
   std::vector<std::size_t> next_;
@@ -232,7 +232,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
               : 0;
       simulation.schedule_at(t0 + spec.start_offset + jitter, [&, spec] {
         bed.host(spec.src)->start_flow(
-            net::host_ip(spec.dst), 5001, spec.bytes,
+            net::host_ip(spec.dst), 5001, spec.bytes.count(),
             [&](const tcp::FlowStats& stats) {
               result.flows.push_back(stats);
               if (++completed_flows == expected_flows) simulation.stop();
@@ -251,8 +251,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       sum += stats.throughput_bps();
       last = std::max(last, stats.completed_at);
     }
-    result.avg_flow_throughput_bps =
-        sum / static_cast<double>(result.flows.size());
+    result.avg_flow_throughput =
+        sim::BitsPerSecF{sum / static_cast<double>(result.flows.size())};
     result.makespan = last - t0;
   }
   if (planck_te) {

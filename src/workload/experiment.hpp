@@ -36,12 +36,12 @@ struct ExperimentConfig {
   Scheme scheme = Scheme::kStatic;
   WorkloadKind workload = WorkloadKind::kStride;
   /// Bytes per flow (for shuffle: bytes per host pair).
-  std::int64_t flow_bytes = 100 * 1024 * 1024;
+  sim::Bytes flow_bytes = sim::mebibytes(100);
   int stride = 8;
   int shuffle_concurrency = 2;
   std::uint64_t seed = 1;
 
-  std::int64_t link_rate_bps = 10'000'000'000;
+  sim::BitsPerSec link_rate = sim::gigabits_per_sec(10);
   /// Host-link propagation stands in for end-host kernel/NIC latency so
   /// the base RTT matches the paper's ~180-250 us testbed (§5.4).
   sim::Duration host_link_propagation = sim::microseconds(40);
@@ -61,7 +61,7 @@ struct ExperimentResult {
   std::vector<tcp::FlowStats> flows;
   /// Mean of per-flow goodput over each flow's own lifetime — the paper's
   /// "average flow throughput" metric (§7.3).
-  double avg_flow_throughput_bps = 0.0;
+  sim::BitsPerSecF avg_flow_throughput{0.0};
   /// Shuffle only: per-host completion time (seconds from workload start).
   std::vector<double> host_completion_seconds;
   sim::Time makespan = 0;  // last completion, relative to workload start

@@ -38,7 +38,7 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
       const net::PortRef peer = graph_.peer(node, port);
       if (!peer.valid()) continue;
       const net::LinkSpec& spec = graph_.link_spec(node, port);
-      net::Link* out = make_link(spec.rate_bps, spec.propagation);
+      net::Link* out = make_link(spec.rate, spec.propagation);
       link_out_[PortKey{node, port}] = out;
       // Receiving end.
       if (graph_.is_host(peer.node)) {
@@ -78,10 +78,10 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
       auto collector = std::make_unique<core::Collector>(
           sim_, "collector-" + sw->name(), node, config.collector_config);
       // Monitor cable: same rate as the switch's first data link.
-      std::int64_t rate = 10'000'000'000;
+      sim::BitsPerSec rate = sim::gigabits_per_sec(10);
       for (int p = 0; p < graph_.num_ports(node); ++p) {
         if (graph_.wired(node, p)) {
-          rate = graph_.link_spec(node, p).rate_bps;
+          rate = graph_.link_spec(node, p).rate;
           break;
         }
       }
@@ -130,24 +130,23 @@ void Testbed::set_collector_online(int graph_node, bool online) {
   collector_by_node_.at(graph_node)->set_online(online);
 }
 
-net::Link* Testbed::make_link(std::int64_t rate_bps,
+net::Link* Testbed::make_link(sim::BitsPerSec rate,
                               sim::Duration propagation) {
   // Clock-tolerance skew (see TestbedConfig::link_rate_ppm).
   if (config_.link_rate_ppm > 0) {
     const double skew = link_rng_.uniform(-config_.link_rate_ppm,
                                           config_.link_rate_ppm) *
                         1e-6;
-    rate_bps = static_cast<std::int64_t>(
-        static_cast<double>(rate_bps) * (1.0 + skew));
+    rate = sim::BitsPerSec{static_cast<std::int64_t>(
+        static_cast<double>(rate.count()) * (1.0 + skew))};
   }
-  links_.push_back(std::make_unique<net::Link>(sim_, rate_bps, propagation));
+  links_.push_back(std::make_unique<net::Link>(sim_, rate, propagation));
   return links_.back().get();
 }
 
 std::vector<std::pair<int, switchsim::Switch*>> Testbed::switch_nodes() {
   std::vector<std::pair<int, switchsim::Switch*>> out;
   out.reserve(switch_by_node_.size());
-  // planck-lint: allow(unordered-iteration) — collect-then-sort
   for (const auto& [node, sw] : switch_by_node_) out.emplace_back(node, sw);
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });

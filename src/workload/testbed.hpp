@@ -114,7 +114,7 @@ class Testbed {
     }
   };
 
-  net::Link* make_link(std::int64_t rate_bps, sim::Duration propagation);
+  net::Link* make_link(sim::BitsPerSec rate, sim::Duration propagation);
   void set_direction_state(int node, int port, bool up);
 
   sim::Simulation& sim_;

@@ -6,7 +6,7 @@
 namespace planck::workload {
 
 std::vector<FlowSpec> make_stride(int num_hosts, int stride,
-                                  std::int64_t bytes) {
+                                  sim::Bytes bytes) {
   std::vector<FlowSpec> flows;
   flows.reserve(static_cast<std::size_t>(num_hosts));
   for (int x = 0; x < num_hosts; ++x) {
@@ -16,7 +16,7 @@ std::vector<FlowSpec> make_stride(int num_hosts, int stride,
 }
 
 std::vector<FlowSpec> make_random_bijection(int num_hosts,
-                                            std::int64_t bytes,
+                                            sim::Bytes bytes,
                                             sim::Rng& rng) {
   std::vector<int> perm(static_cast<std::size_t>(num_hosts));
   std::iota(perm.begin(), perm.end(), 0);
@@ -35,7 +35,7 @@ std::vector<FlowSpec> make_random_bijection(int num_hosts,
   return flows;
 }
 
-std::vector<FlowSpec> make_random(int num_hosts, std::int64_t bytes,
+std::vector<FlowSpec> make_random(int num_hosts, sim::Bytes bytes,
                                   sim::Rng& rng) {
   std::vector<FlowSpec> flows;
   flows.reserve(static_cast<std::size_t>(num_hosts));
@@ -49,7 +49,7 @@ std::vector<FlowSpec> make_random(int num_hosts, std::int64_t bytes,
   return flows;
 }
 
-std::vector<FlowSpec> make_staggered(int num_hosts, std::int64_t bytes,
+std::vector<FlowSpec> make_staggered(int num_hosts, sim::Bytes bytes,
                                      double p_edge, double p_pod,
                                      sim::Rng& rng) {
   std::vector<FlowSpec> flows;

@@ -5,6 +5,7 @@
 
 #include "sim/random.hpp"
 #include "sim/time.hpp"
+#include "sim/units.hpp"
 
 namespace planck::workload {
 
@@ -12,31 +13,31 @@ namespace planck::workload {
 struct FlowSpec {
   int src = 0;
   int dst = 0;
-  std::int64_t bytes = 0;
+  sim::Bytes bytes{0};
   sim::Duration start_offset = 0;  // relative to workload start
 };
 
 /// Stride(k) (§7.1): host x sends to (x + k) mod n. All flows cross the
 /// core when k = n/2.
 std::vector<FlowSpec> make_stride(int num_hosts, int stride,
-                                  std::int64_t bytes);
+                                  sim::Bytes bytes);
 
 /// Random bijection (§7.1): a random permutation with no fixed points —
 /// every host sources exactly one flow and sinks exactly one flow.
 std::vector<FlowSpec> make_random_bijection(int num_hosts,
-                                            std::int64_t bytes,
+                                            sim::Bytes bytes,
                                             sim::Rng& rng);
 
 /// Random (§7.1): every host picks a uniform destination other than
 /// itself; hotspots may form.
-std::vector<FlowSpec> make_random(int num_hosts, std::int64_t bytes,
+std::vector<FlowSpec> make_random(int num_hosts, sim::Bytes bytes,
                                   sim::Rng& rng);
 
 /// Staggered probability workload (as in Hedera): with probability
 /// p_edge the destination is under the same edge switch, with p_pod in
 /// the same pod, otherwise anywhere. Host-to-index mapping follows the
 /// fat-tree convention (4 hosts per pod, 2 per edge).
-std::vector<FlowSpec> make_staggered(int num_hosts, std::int64_t bytes,
+std::vector<FlowSpec> make_staggered(int num_hosts, sim::Bytes bytes,
                                      double p_edge, double p_pod,
                                      sim::Rng& rng);
 
@@ -45,7 +46,7 @@ std::vector<FlowSpec> make_staggered(int num_hosts, std::int64_t bytes,
 /// starts successors as flows finish, the shuffle is described by this
 /// spec rather than a flat flow list.
 struct ShuffleSpec {
-  std::int64_t bytes_per_pair = 0;
+  sim::Bytes bytes_per_pair{0};
   int concurrency = 2;
 };
 

@@ -17,7 +17,7 @@ namespace {
 struct FatTreeBed {
   explicit FatTreeBed(workload::TestbedConfig cfg = {})
       : graph(net::make_fat_tree_16(
-            net::LinkSpec{10'000'000'000, sim::microseconds(5)})),
+            net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)})),
         bed(sim, graph, cfg) {}
 
   sim::Simulation sim;
@@ -166,8 +166,8 @@ TEST(Controller, ArpRerouteMovesLiveTraffic) {
   std::uint64_t old_rx = 0;
   std::uint64_t new_rx = 0;
   for (int p = 0; p < 4; ++p) {
-    old_rx += f.bed.switch_by_node(old_core)->counters(p).rx_packets;
-    new_rx += f.bed.switch_by_node(new_core)->counters(p).rx_packets;
+    old_rx += f.bed.switch_by_node(old_core)->counters(p).rx_packets.count();
+    new_rx += f.bed.switch_by_node(new_core)->counters(p).rx_packets.count();
   }
   EXPECT_GT(old_rx, 1000u);
   EXPECT_GT(new_rx, 1000u);
@@ -189,10 +189,10 @@ TEST(Controller, OpenFlowRerouteMovesLiveTraffic) {
   const int new_core = routing.path(0, 4, 2).hops[2].switch_node;
   std::uint64_t new_rx = 0;
   for (int p = 0; p < 4; ++p) {
-    new_rx += f.bed.switch_by_node(new_core)->counters(p).rx_packets;
+    new_rx += f.bed.switch_by_node(new_core)->counters(p).rx_packets.count();
   }
   EXPECT_GT(new_rx, 1000u);
-  EXPECT_EQ(result.total_bytes, 50 * 1024 * 1024);
+  EXPECT_EQ(result.total_bytes, sim::mebibytes(50));
 }
 
 TEST(Controller, RerouteBackToBaseTree) {

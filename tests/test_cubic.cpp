@@ -24,7 +24,7 @@ workload::TestbedConfig no_planck() {
 struct Star {
   explicit Star(int n, workload::TestbedConfig cfg = no_planck())
       : graph(net::make_star(
-            n, net::LinkSpec{10'000'000'000, sim::microseconds(40)})),
+            n, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(40)})),
         bed(sim, graph, cfg) {}
   sim::Simulation sim;
   net::TopologyGraph graph;
@@ -53,7 +53,7 @@ TEST(Cubic, HystartDisabledOvershootsAndLoses) {
   // and the flow takes losses — the pathology HyStart exists to avoid.
   workload::TestbedConfig cfg = no_planck();
   cfg.host_config.tcp.hystart_rtt_factor = 0;
-  cfg.switch_config.buffer.total_bytes = 2 * 1024 * 1024;
+  cfg.switch_config.buffer.total_bytes = sim::mebibytes(2);
   Star star(3, cfg);
   FlowStats s1;
   FlowStats s2;
@@ -104,7 +104,7 @@ TEST(Cubic, RecoversSharePromptlyAfterJoiningBusyLink) {
 TEST(Realism, LinkClockSkewApplied) {
   sim::Simulation simulation;
   const auto graph = net::make_star(
-      2, net::LinkSpec{10'000'000'000, sim::microseconds(1)});
+      2, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(1)});
   workload::TestbedConfig cfg = no_planck();
   cfg.link_rate_ppm = 100.0;
   workload::Testbed bed(simulation, graph, cfg);
@@ -122,7 +122,7 @@ TEST(Realism, LinkClockSkewApplied) {
 TEST(Realism, LinkSkewZeroWhenDisabled) {
   sim::Simulation simulation;
   const auto graph = net::make_star(
-      2, net::LinkSpec{10'000'000'000, sim::microseconds(1)});
+      2, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(1)});
   workload::TestbedConfig cfg = no_planck();
   cfg.link_rate_ppm = 0.0;
   workload::Testbed bed(simulation, graph, cfg);
@@ -137,7 +137,7 @@ TEST(Realism, FractionalCarryKeepsExactAverageRate) {
   // 1538-byte frames at 10 Gbps are 1230.4 ns each; over 1000 packets the
   // line must be busy 1,230,400 ns, not 1,231,000.
   sim::Simulation simulation;
-  net::Link link(simulation, 10'000'000'000, 0);
+  net::Link link(simulation, sim::gigabits_per_sec(10), 0);
   struct Sink : net::Node {
     void handle_packet(const net::Packet&, int) override {}
   } sink;
@@ -154,7 +154,7 @@ TEST(Realism, FractionalCarryKeepsExactAverageRate) {
 
 TEST(Realism, SenderMicroburstsCreateGaps) {
   workload::TestbedConfig cfg = no_planck();
-  cfg.host_config.stall_every_bytes = 64 * 1024;
+  cfg.host_config.stall_every_bytes = sim::kibibytes(64);
   cfg.host_config.sender_stall_min = sim::microseconds(20);
   cfg.host_config.sender_stall_max = sim::microseconds(20);
   Star star(2, cfg);

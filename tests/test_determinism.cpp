@@ -44,7 +44,7 @@ struct RunResult {
 RunResult run_fig15(std::uint64_t seed) {
   sim::Simulation sim;
   const auto graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   TestbedConfig cfg;
   cfg.seed = seed;
   Testbed bed(sim, graph, cfg);
@@ -59,7 +59,7 @@ RunResult run_fig15(std::uint64_t seed) {
     bed.host(i)->start_flow(net::host_ip(4 + i), 5001, 50 * 1024 * 1024,
                             [&log, &sim, i](const tcp::FlowStats& s) {
                               log << "F " << i << " " << s.completed_at
-                                  << " " << s.total_bytes << " "
+                                  << " " << s.total_bytes.count() << " "
                                   << s.retransmits << "\n";
                             });
   }
@@ -75,7 +75,7 @@ RunResult run_fig15(std::uint64_t seed) {
 RunResult run_faulted(std::uint64_t seed) {
   sim::Simulation sim;
   const auto graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   TestbedConfig cfg;
   cfg.seed = seed;
   cfg.controller_config.channel.loss_prob = 0.05;
@@ -125,7 +125,7 @@ RunResult run_faulted(std::uint64_t seed) {
 RunResult run_te_failover(std::uint64_t seed) {
   sim::Simulation sim;
   const auto graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   TestbedConfig cfg;
   cfg.seed = seed;
   Testbed bed(sim, graph, cfg);

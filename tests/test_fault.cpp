@@ -25,7 +25,7 @@ using workload::TestbedConfig;
 struct FatTree {
   explicit FatTree(TestbedConfig cfg = {})
       : graph(net::make_fat_tree_16(
-            net::LinkSpec{10'000'000'000, sim::microseconds(5)})),
+            net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)})),
         bed(sim, graph, cfg) {}
 
   sim::Simulation sim;
@@ -358,7 +358,7 @@ TEST(Chaos, AllFlowsCompleteUnderRandomFaults) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     sim::Simulation sim;
     const auto graph = net::make_fat_tree_16(
-        net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+        net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
     Testbed bed(sim, graph, TestbedConfig{});
     te::PlanckTe te(sim, bed.controller(), te::PlanckTeConfig{});
     fault::FaultInjector inj(sim, bed, seed);

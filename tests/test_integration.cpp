@@ -24,7 +24,7 @@ using workload::TestbedConfig;
 struct FatTree {
   explicit FatTree(TestbedConfig cfg = {})
       : graph(net::make_fat_tree_16(
-            net::LinkSpec{10'000'000'000, sim::microseconds(5)})),
+            net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)})),
         bed(sim, graph, cfg) {}
 
   sim::Simulation sim;
@@ -230,14 +230,15 @@ TEST(Integration, PlanckTeBeatsStaticOnStride) {
   using namespace workload;
   ExperimentConfig cfg;
   cfg.workload = WorkloadKind::kStride;
-  cfg.flow_bytes = 25 * 1024 * 1024;
+  cfg.flow_bytes = sim::bytes(25 * 1024 * 1024);
   cfg.seed = 12;
   cfg.scheme = Scheme::kStatic;
   const auto rs = run_experiment(cfg);
   cfg.scheme = Scheme::kPlanckTe;
   const auto rp = run_experiment(cfg);
   ASSERT_TRUE(rs.all_complete && rp.all_complete);
-  EXPECT_GT(rp.avg_flow_throughput_bps, 1.2 * rs.avg_flow_throughput_bps);
+  EXPECT_GT(rp.avg_flow_throughput.count(),
+            1.2 * rs.avg_flow_throughput.count());
 }
 
 TEST(Integration, VantagePointRingHoldsRecentSamples) {

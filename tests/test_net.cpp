@@ -150,7 +150,7 @@ class Sink : public Node {
 
 TEST(Link, DeliversAfterSerializationPlusPropagation) {
   sim::Simulation sim;
-  Link link(sim, 10'000'000'000, sim::microseconds(10));
+  Link link(sim, sim::gigabits_per_sec(10), sim::microseconds(10));
   Sink sink;
   link.connect(&sink, 7);
 
@@ -168,7 +168,7 @@ TEST(Link, DeliversAfterSerializationPlusPropagation) {
 
 TEST(Link, BusyUntilFreeAt) {
   sim::Simulation sim;
-  Link link(sim, 1'000'000'000, 0);
+  Link link(sim, sim::gigabits_per_sec(1), 0);
   Sink sink;
   link.connect(&sink, 0);
   Packet p;
@@ -181,7 +181,7 @@ TEST(Link, BusyUntilFreeAt) {
 
 TEST(Link, CountsTraffic) {
   sim::Simulation sim;
-  Link link(sim, 10'000'000'000, 0);
+  Link link(sim, sim::gigabits_per_sec(10), 0);
   Sink sink;
   link.connect(&sink, 0);
   Packet p;
@@ -190,13 +190,13 @@ TEST(Link, CountsTraffic) {
   sim.run();
   link.transmit(p);
   sim.run();
-  EXPECT_EQ(link.packets_sent(), 2u);
-  EXPECT_EQ(link.bytes_sent(), 2 * p.wire_size());
+  EXPECT_EQ(link.packets_sent(), sim::packets(2));
+  EXPECT_EQ(link.bytes_sent(), sim::bytes(2 * p.wire_size()));
 }
 
 TEST(Link, BackToBackPacketsKeepLineRate) {
   sim::Simulation sim;
-  Link link(sim, 10'000'000'000, 0);
+  Link link(sim, sim::gigabits_per_sec(10), 0);
   Sink sink;
   link.connect(&sink, 0);
   Packet p;
@@ -289,11 +289,11 @@ TEST(Topology, FatTreeCoreReachesEveryPod) {
 
 TEST(Topology, LinkSpecStored) {
   LinkSpec spec;
-  spec.rate_bps = 1'000'000'000;
+  spec.rate = sim::gigabits_per_sec(1);
   spec.propagation = sim::microseconds(3);
   const TopologyGraph g = make_star(2, spec);
   const auto& got = g.link_spec(g.host_node(0), 0);
-  EXPECT_EQ(got.rate_bps, spec.rate_bps);
+  EXPECT_EQ(got.rate, spec.rate);
   EXPECT_EQ(got.propagation, spec.propagation);
 }
 

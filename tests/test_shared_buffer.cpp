@@ -1,0 +1,129 @@
+// Directed tests for the Dynamic Threshold shared buffer against the
+// paper's §5.1 numbers: a Trident-style 9 MB pool shared by 64 ports with
+// alpha = 0.8, where a single congested port plateaus at ~4 MB — the
+// figure the paper measured on the Pronto 3290 and built the monitor-port
+// sizing argument on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/units.hpp"
+#include "switchsim/shared_buffer.hpp"
+
+namespace planck::switchsim {
+namespace {
+
+constexpr int kPorts = 64;
+constexpr sim::Bytes kFrame = sim::Bytes{1518};
+
+// Fills `port` with MTU frames until DT refuses; returns frames admitted.
+int fill_port(SharedBuffer& buffer, int port) {
+  int admitted = 0;
+  while (buffer.admit(port, kFrame)) ++admitted;
+  return admitted;
+}
+
+TEST(SharedBufferTest, SingleCongestedPortPlateausNearFourMegabytes) {
+  SharedBuffer buffer(BufferConfig{}, kPorts);  // 9 MiB, alpha 0.8
+
+  fill_port(buffer, 0);
+
+  // DT fixpoint: the port stops when its shared occupancy S reaches
+  // alpha * (shared_total - S), i.e. S* = alpha/(1+alpha) * shared_total
+  // = 0.8/1.8 * (9 MiB - 64 * 2 * 1518 B) ~= 4.11 MB, plus the port's own
+  // 3036 B reservation. The paper quotes "about 4 MB".
+  const double expected =
+      0.8 / 1.8 * static_cast<double>(buffer.shared_total().count()) +
+      static_cast<double>(buffer.config().per_port_reserve.count());
+  const double occupancy =
+      static_cast<double>(buffer.queue_bytes(0).count());
+  EXPECT_GT(occupancy, 3.9e6);
+  EXPECT_LT(occupancy, 4.3e6);
+  // Within one frame of the analytic fixpoint (quantized by frame size).
+  EXPECT_NEAR(occupancy, expected, 2.0 * 1518);
+
+  // And a second congested port re-balances: both end lower than one
+  // alone, since each port's threshold shrinks as free shared memory does.
+  fill_port(buffer, 1);
+  EXPECT_LT(buffer.queue_bytes(1), buffer.queue_bytes(0));
+  EXPECT_LE(buffer.shared_used(), buffer.shared_total());
+}
+
+TEST(SharedBufferTest, PerPortReservationSurvivesPoolExhaustion) {
+  SharedBuffer buffer(BufferConfig{}, kPorts);
+
+  // Congest half the ports so the shared pool is as claimed as DT allows.
+  for (int port = 0; port < kPorts / 2; ++port) fill_port(buffer, port);
+
+  // Every untouched port must still admit its full dedicated reservation
+  // (2 frames): reserved memory is per-port and DT cannot lend it out.
+  for (int port = kPorts / 2; port < kPorts; ++port) {
+    EXPECT_TRUE(buffer.admit(port, kFrame)) << "port " << port;
+    EXPECT_TRUE(buffer.admit(port, kFrame)) << "port " << port;
+  }
+  EXPECT_LE(buffer.total_used(), buffer.config().total_bytes);
+}
+
+TEST(SharedBufferTest, PoolNeverExceedsPhysicalMemoryUnderAdversarialOrder) {
+  SharedBuffer buffer(BufferConfig{}, kPorts);
+
+  // Adversarial interleaving: round-robin admits with mixed frame sizes,
+  // punctuated by partial drains of earlier ports (which re-opens DT
+  // headroom and re-admits), until a full round is refused everywhere.
+  const sim::Bytes sizes[] = {sim::Bytes{64}, sim::Bytes{1518},
+                              sim::Bytes{9000}, sim::Bytes{256}};
+  std::vector<std::vector<sim::Bytes>> admitted(kPorts);
+  int round = 0;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int port = 0; port < kPorts; ++port) {
+      const sim::Bytes size = sizes[(port + round) % 4];
+      if (buffer.admit(port, size)) {
+        admitted[static_cast<std::size_t>(port)].push_back(size);
+        any = true;
+      }
+    }
+    if (round % 3 == 2) {  // drain a third of what port (round%64) holds
+      auto& q = admitted[static_cast<std::size_t>(round % kPorts)];
+      for (std::size_t i = 0; i < q.size() / 3; ++i) {
+        buffer.release(round % kPorts, q.back());
+        q.pop_back();
+      }
+    }
+    EXPECT_LE(buffer.total_used(), buffer.config().total_bytes);
+    EXPECT_LE(buffer.shared_used(), buffer.shared_total());
+    if (++round > 100000) FAIL() << "did not converge";
+  }
+
+  // Full conservation audit, then drain everything back to zero.
+  buffer.check_conservation();
+  for (int port = 0; port < kPorts; ++port) {
+    for (const sim::Bytes size : admitted[static_cast<std::size_t>(port)]) {
+      buffer.release(port, size);
+    }
+  }
+  EXPECT_EQ(buffer.total_used(), sim::Bytes{0});
+  EXPECT_EQ(buffer.shared_used(), sim::Bytes{0});
+}
+
+TEST(SharedBufferTest, MonitorPortCapBoundsQueueIndependentlyOfDt) {
+  SharedBuffer buffer(BufferConfig{}, kPorts);
+  // Table 1's 1 Gbps monitor-port allocation: 768 KiB, well under the
+  // ~4.1 MB DT plateau, so the hard cap is what binds.
+  buffer.set_port_cap(3, sim::kibibytes(768));
+
+  fill_port(buffer, 3);
+  EXPECT_LE(buffer.queue_bytes(3), sim::kibibytes(768));
+  // The queue sits within one frame of the cap (frame-size quantization).
+  EXPECT_GE(buffer.queue_bytes(3) + kFrame, sim::kibibytes(768));
+
+  // Lifting the cap re-admits up to the DT threshold (~4.1 MB).
+  buffer.set_port_cap(3, SharedBuffer::kNoCap);
+  EXPECT_GT(fill_port(buffer, 3), 0);
+  EXPECT_GT(buffer.queue_bytes(3).count(), static_cast<std::int64_t>(3.9e6));
+}
+
+}  // namespace
+}  // namespace planck::switchsim

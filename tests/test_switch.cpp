@@ -22,34 +22,34 @@ using net::Packet;
 
 TEST(SharedBuffer, ReservedBytesAlwaysAdmitted) {
   BufferConfig cfg;
-  cfg.total_bytes = 100'000;
-  cfg.per_port_reserve = 3'000;
+  cfg.total_bytes = sim::bytes(100'000);
+  cfg.per_port_reserve = sim::bytes(3'000);
   SharedBuffer buf(cfg, 4);
-  EXPECT_TRUE(buf.admit(0, 3'000));
-  EXPECT_EQ(buf.queue_bytes(0), 3'000);
-  EXPECT_EQ(buf.shared_used(), 0);
+  EXPECT_TRUE(buf.admit(0, sim::bytes(3'000)));
+  EXPECT_EQ(buf.queue_bytes(0), sim::bytes(3'000));
+  EXPECT_EQ(buf.shared_used(), sim::Bytes{0});
 }
 
 TEST(SharedBuffer, SharedUsageTracked) {
   BufferConfig cfg;
-  cfg.total_bytes = 100'000;
-  cfg.per_port_reserve = 1'000;
+  cfg.total_bytes = sim::bytes(100'000);
+  cfg.per_port_reserve = sim::bytes(1'000);
   SharedBuffer buf(cfg, 2);
-  ASSERT_TRUE(buf.admit(0, 5'000));
-  EXPECT_EQ(buf.shared_used(), 4'000);
-  buf.release(0, 5'000);
-  EXPECT_EQ(buf.shared_used(), 0);
-  EXPECT_EQ(buf.queue_bytes(0), 0);
+  ASSERT_TRUE(buf.admit(0, sim::bytes(5'000)));
+  EXPECT_EQ(buf.shared_used(), sim::bytes(4'000));
+  buf.release(0, sim::bytes(5'000));
+  EXPECT_EQ(buf.shared_used(), sim::Bytes{0});
+  EXPECT_EQ(buf.queue_bytes(0), sim::Bytes{0});
 }
 
 TEST(SharedBuffer, DtLimitsSingleHog) {
   // With alpha = 0.8 a single congested port converges to
   // alpha/(1+alpha) of the shared pool: 4/9 of 9 MB ~= 4 MB (§5.1).
   BufferConfig cfg;  // defaults: 9 MB, alpha 0.8
-  cfg.per_port_reserve = 0;
+  cfg.per_port_reserve = sim::bytes(0);
   SharedBuffer buf(cfg, 64);
   std::int64_t admitted = 0;
-  while (buf.admit(5, 1500)) admitted += 1500;
+  while (buf.admit(5, sim::bytes(1500))) admitted += 1500;
   const double expected = 0.8 / 1.8 * 9.0 * 1024 * 1024;
   EXPECT_NEAR(static_cast<double>(admitted), expected, 5'000);
 }
@@ -57,16 +57,16 @@ TEST(SharedBuffer, DtLimitsSingleHog) {
 TEST(SharedBuffer, MoreCongestedPortsGetSmallerShares) {
   // §5.1: latency (queue depth) per port decreases as more ports congest.
   BufferConfig cfg;
-  cfg.per_port_reserve = 0;
+  cfg.per_port_reserve = sim::bytes(0);
   std::vector<std::int64_t> depths;
   for (int ports : {1, 2, 4, 8}) {
     SharedBuffer buf(cfg, 64);
     bool any = true;
     while (any) {
       any = false;
-      for (int p = 0; p < ports; ++p) any |= buf.admit(p, 1500);
+      for (int p = 0; p < ports; ++p) any |= buf.admit(p, sim::bytes(1500));
     }
-    depths.push_back(buf.queue_bytes(0));
+    depths.push_back(buf.queue_bytes(0).count());
   }
   for (std::size_t i = 1; i < depths.size(); ++i) {
     EXPECT_LT(depths[i], depths[i - 1]);
@@ -75,52 +75,52 @@ TEST(SharedBuffer, MoreCongestedPortsGetSmallerShares) {
 
 TEST(SharedBuffer, NeverExceedsPhysicalMemory) {
   BufferConfig cfg;
-  cfg.total_bytes = 50'000;
-  cfg.per_port_reserve = 1'000;
+  cfg.total_bytes = sim::bytes(50'000);
+  cfg.per_port_reserve = sim::bytes(1'000);
   cfg.alpha = 100.0;  // pathological alpha: memory cap must still hold
   SharedBuffer buf(cfg, 4);
   std::int64_t total = 0;
   for (int round = 0; round < 1000; ++round) {
     for (int p = 0; p < 4; ++p) {
-      if (buf.admit(p, 1500)) total += 1500;
+      if (buf.admit(p, sim::bytes(1500))) total += 1500;
     }
   }
   std::int64_t sum = 0;
-  for (int p = 0; p < 4; ++p) sum += buf.queue_bytes(p);
+  for (int p = 0; p < 4; ++p) sum += buf.queue_bytes(p).count();
   EXPECT_EQ(sum, total);
   EXPECT_LE(buf.shared_used(), buf.shared_total());
 }
 
 TEST(SharedBuffer, PortCapEnforced) {
   BufferConfig cfg;
-  cfg.total_bytes = 1'000'000;
-  cfg.per_port_reserve = 0;
+  cfg.total_bytes = sim::bytes(1'000'000);
+  cfg.per_port_reserve = sim::bytes(0);
   SharedBuffer buf(cfg, 4);
-  buf.set_port_cap(2, 4'500);
-  EXPECT_TRUE(buf.admit(2, 1500));
-  EXPECT_TRUE(buf.admit(2, 1500));
-  EXPECT_TRUE(buf.admit(2, 1500));
-  EXPECT_FALSE(buf.admit(2, 1500));
-  buf.release(2, 1500);
-  EXPECT_TRUE(buf.admit(2, 1500));
-  buf.set_port_cap(2, -1);
-  EXPECT_TRUE(buf.admit(2, 1500));
+  buf.set_port_cap(2, sim::bytes(4'500));
+  EXPECT_TRUE(buf.admit(2, sim::bytes(1500)));
+  EXPECT_TRUE(buf.admit(2, sim::bytes(1500)));
+  EXPECT_TRUE(buf.admit(2, sim::bytes(1500)));
+  EXPECT_FALSE(buf.admit(2, sim::bytes(1500)));
+  buf.release(2, sim::bytes(1500));
+  EXPECT_TRUE(buf.admit(2, sim::bytes(1500)));
+  buf.set_port_cap(2, SharedBuffer::kNoCap);
+  EXPECT_TRUE(buf.admit(2, sim::bytes(1500)));
 }
 
 TEST(SharedBuffer, ReleaseRestoresDtHeadroom) {
   BufferConfig cfg;
-  cfg.per_port_reserve = 0;
+  cfg.per_port_reserve = sim::bytes(0);
   SharedBuffer buf(cfg, 64);
-  while (buf.admit(0, 1500)) {
+  while (buf.admit(0, sim::bytes(1500))) {
   }
-  EXPECT_FALSE(buf.admit(0, 1500));
+  EXPECT_FALSE(buf.admit(0, sim::bytes(1500)));
   // Freeing another port's share frees shared memory and reopens DT.
-  ASSERT_TRUE(buf.admit(1, 1500));
-  buf.release(1, 1500);
-  const std::int64_t before = buf.queue_bytes(0);
-  for (int i = 0; i < 200; ++i) buf.release(0, 1500);
-  EXPECT_TRUE(buf.admit(0, 1500));
-  EXPECT_LT(buf.queue_bytes(0), before);
+  ASSERT_TRUE(buf.admit(1, sim::bytes(1500)));
+  buf.release(1, sim::bytes(1500));
+  const std::int64_t before = buf.queue_bytes(0).count();
+  for (int i = 0; i < 200; ++i) buf.release(0, sim::bytes(1500));
+  EXPECT_TRUE(buf.admit(0, sim::bytes(1500)));
+  EXPECT_LT(buf.queue_bytes(0).count(), before);
 }
 
 // ---------------------------------------------------------------------------
@@ -170,8 +170,8 @@ struct Fixture {
     links.reserve(static_cast<std::size_t>(ports));
     sinks.resize(static_cast<std::size_t>(ports));
     for (int p = 0; p < ports; ++p) {
-      links.push_back(std::make_unique<net::Link>(sim, 10'000'000'000,
-                                                  sim::microseconds(1)));
+      links.push_back(std::make_unique<net::Link>(
+          sim, sim::gigabits_per_sec(10), sim::microseconds(1)));
       links.back()->connect(&sinks[static_cast<std::size_t>(p)], 0);
       sw.attach_link(p, links.back().get());
     }
@@ -203,8 +203,8 @@ TEST(Switch, ForwardsByMacRule) {
   f.sw.handle_packet(f.make_packet(9), 0);
   f.sim.run();
   EXPECT_EQ(f.sinks[2].packets.size(), 1u);
-  EXPECT_EQ(f.sw.counters(0).rx_packets, 1u);
-  EXPECT_EQ(f.sw.counters(2).tx_packets, 1u);
+  EXPECT_EQ(f.sw.counters(0).rx_packets, sim::packets(1));
+  EXPECT_EQ(f.sw.counters(2).tx_packets, sim::packets(1));
 }
 
 TEST(Switch, DropsWithoutRule) {
@@ -259,8 +259,8 @@ TEST(Switch, RuleCountersAdvance) {
   f.sim.run();
   const auto* rule = f.sw.rules().find_mac(net::host_mac(9));
   ASSERT_NE(rule, nullptr);
-  EXPECT_EQ(rule->counters.packets, 5u);
-  EXPECT_EQ(rule->counters.bytes, 5u * 1518);
+  EXPECT_EQ(rule->counters.packets, sim::packets(5));
+  EXPECT_EQ(rule->counters.bytes, sim::bytes(5 * 1518));
 }
 
 TEST(Switch, FlowAccountingCountsPayload) {
@@ -276,8 +276,8 @@ TEST(Switch, FlowAccountingCountsPayload) {
   f.sim.run();
   const auto it = f.sw.flow_counters().find(p.flow_key());
   ASSERT_NE(it, f.sw.flow_counters().end());
-  EXPECT_EQ(it->second.packets, 2u);
-  EXPECT_EQ(it->second.bytes, 2000u);
+  EXPECT_EQ(it->second.packets, sim::packets(2));
+  EXPECT_EQ(it->second.bytes, sim::bytes(2000));
 }
 
 TEST(Switch, MirrorReplicatesToMonitorPort) {
@@ -329,7 +329,7 @@ TEST(Switch, MonitorPortTrafficIsNotReMirrored) {
 
 TEST(Switch, OversubscribedMirrorDropsReplicasNotOriginals) {
   SwitchConfig cfg;
-  cfg.monitor_port_cap = 8 * 1518;  // tiny monitor buffer
+  cfg.monitor_port_cap = sim::bytes(8 * 1518);  // tiny monitor buffer
   Fixture f(4, cfg);
   RuleActions to1;
   to1.out_port = 1;
@@ -350,8 +350,8 @@ TEST(Switch, OversubscribedMirrorDropsReplicasNotOriginals) {
   EXPECT_EQ(f.sinks[1].packets.size(), 200u);
   EXPECT_EQ(f.sinks[2].packets.size(), 200u);
   EXPECT_GT(f.sw.mirror_drops(), 100u);
-  EXPECT_EQ(f.sw.counters(1).drops, 0u);
-  EXPECT_EQ(f.sw.counters(2).drops, 0u);
+  EXPECT_EQ(f.sw.counters(1).drops, sim::packets(0));
+  EXPECT_EQ(f.sw.counters(2).drops, sim::packets(0));
   // Samples that did get through are a mix of both flows.
   int flow1 = 0;
   for (const auto& p : f.sinks[3].packets) {
@@ -363,17 +363,17 @@ TEST(Switch, OversubscribedMirrorDropsReplicasNotOriginals) {
 
 TEST(Switch, TailDropWhenOutputCongests) {
   SwitchConfig cfg;
-  cfg.buffer.total_bytes = 30 * 1518;
-  cfg.buffer.per_port_reserve = 0;
+  cfg.buffer.total_bytes = sim::bytes(30 * 1518);
+  cfg.buffer.per_port_reserve = sim::Bytes{0};
   Fixture f(4, cfg);
   RuleActions a;
   a.out_port = 1;
   f.sw.rules().set_mac_rule(net::host_mac(9), a);
   for (int i = 0; i < 100; ++i) f.sw.handle_packet(f.make_packet(9), 0);
-  EXPECT_GT(f.sw.counters(1).drops, 50u);
+  EXPECT_GT(f.sw.counters(1).drops.count(), 50u);
   f.sim.run();
   EXPECT_LT(f.sinks[1].packets.size(), 50u);
-  EXPECT_EQ(f.sinks[1].packets.size() + f.sw.counters(1).drops, 100u);
+  EXPECT_EQ(f.sinks[1].packets.size() + f.sw.counters(1).drops.count(), 100u);
 }
 
 TEST(Switch, InjectBypassesRules) {
@@ -439,22 +439,22 @@ class DtInvariantTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(DtInvariantTest, TotalNeverExceedsMemory) {
   BufferConfig cfg;
-  cfg.total_bytes = 2'000'000;
-  cfg.per_port_reserve = 3'036;
+  cfg.total_bytes = sim::bytes(2'000'000);
+  cfg.per_port_reserve = sim::bytes(3'036);
   const int hogs = GetParam();
   SharedBuffer buf(cfg, 16);
   bool any = true;
   while (any) {
     any = false;
-    for (int p = 0; p < hogs; ++p) any |= buf.admit(p, 1500);
+    for (int p = 0; p < hogs; ++p) any |= buf.admit(p, sim::bytes(1500));
   }
   std::int64_t sum = 0;
-  for (int p = 0; p < 16; ++p) sum += buf.queue_bytes(p);
-  EXPECT_LE(sum, cfg.total_bytes);
+  for (int p = 0; p < 16; ++p) sum += buf.queue_bytes(p).count();
+  EXPECT_LE(sum, cfg.total_bytes.count());
   // And the hogs share roughly equally.
   for (int p = 1; p < hogs; ++p) {
-    EXPECT_NEAR(static_cast<double>(buf.queue_bytes(p)),
-                static_cast<double>(buf.queue_bytes(0)), 2 * 1500.0);
+    EXPECT_NEAR(static_cast<double>(buf.queue_bytes(p).count()),
+                static_cast<double>(buf.queue_bytes(0).count()), 2 * 1500.0);
   }
 }
 

@@ -22,7 +22,7 @@ namespace {
 /// A star testbed: `n` hosts, one switch, no Planck, 10 Gbps.
 struct Star {
   explicit Star(int n, workload::TestbedConfig cfg = no_planck(),
-                std::int64_t rate = 10'000'000'000)
+                sim::BitsPerSec rate = sim::gigabits_per_sec(10))
       : graph(net::make_star(n, net::LinkSpec{rate, sim::microseconds(40)})),
         bed(sim, graph, cfg) {}
 
@@ -44,7 +44,7 @@ TEST(Tcp, TransfersAllBytesAtLineRate) {
                                [&](const FlowStats& s) { result = s; });
   star.sim.run_until(sim::seconds(5));
   ASSERT_TRUE(result.complete);
-  EXPECT_EQ(result.total_bytes, 10 * 1024 * 1024);
+  EXPECT_EQ(result.total_bytes, sim::mebibytes(10));
   EXPECT_EQ(result.retransmits, 0u);
   EXPECT_EQ(result.timeouts, 0u);
   // Goodput close to the 9.49 Gbps payload ceiling of 10 GbE.
@@ -119,7 +119,7 @@ TEST(Tcp, CongestionCausesRetransmissionsNotCorruption) {
   // A shallow-buffered switch guarantees drops under 2:1 congestion
   // (HyStart avoids them entirely with the default 9 MB buffer).
   workload::TestbedConfig cfg = Star::no_planck();
-  cfg.switch_config.buffer.total_bytes = 256 * 1024;
+  cfg.switch_config.buffer.total_bytes = sim::kibibytes(256);
   Star star(3, cfg);
   FlowStats s1;
   FlowStats s2;
@@ -191,7 +191,7 @@ TEST(Tcp, FirstSentTimestampSurvivesRetransmission) {
   // packets carry the first-transmission time of their byte range. A
   // shallow buffer forces the losses.
   workload::TestbedConfig cfg = Star::no_planck();
-  cfg.switch_config.buffer.total_bytes = 128 * 1024;
+  cfg.switch_config.buffer.total_bytes = sim::kibibytes(128);
   Star star(3, cfg);
   sim::Time max_latency = 0;
   star.bed.host(2)->set_rx_hook([&](const net::Packet& p) {
@@ -325,9 +325,9 @@ TEST(Host, SendWithoutArpEntryFails) {
 TEST(Host, NicQueueLimitAndHeadroom) {
   sim::Simulation sim;
   HostConfig cfg;
-  cfg.nic_queue_bytes = 3 * 1518;
+  cfg.nic_queue_bytes = sim::bytes(3 * 1518);
   Host host(sim, 0, cfg);
-  net::Link link(sim, 1'000'000, 0);  // very slow: 1 Mbps
+  net::Link link(sim, sim::megabits_per_sec(1), 0);  // very slow: 1 Mbps
   struct NullSink : net::Node {
     void handle_packet(const net::Packet&, int) override {}
   } sink;
@@ -342,7 +342,7 @@ TEST(Host, NicQueueLimitAndHeadroom) {
   EXPECT_TRUE(host.send(p));
   EXPECT_FALSE(host.send(p));  // queue full
   EXPECT_EQ(host.nic_drops(), 1u);
-  EXPECT_LE(host.nic_headroom(), 0);
+  EXPECT_LE(host.nic_headroom(), sim::Bytes{0});
 }
 
 TEST(Host, TxHookSeesWireTimestamps) {
@@ -400,7 +400,7 @@ TEST(CbrSource, HitsConfiguredRate) {
     if (p.proto == net::Protocol::kUdp) received_payload += p.payload;
   });
   CbrSource source(star.sim, *star.bed.host(0), net::host_ip(1), 7000, 7001,
-                   1'000'000'000);  // 1 Gbps of wire
+                   sim::gigabits_per_sec(1));  // 1 Gbps of wire
   source.start();
   star.sim.schedule_at(sim::milliseconds(100), [&] { source.stop(); });
   star.sim.run_until(sim::milliseconds(200));
@@ -417,7 +417,7 @@ TEST(CbrSource, SequenceNumbersAreByteOffsets) {
     if (p.proto == net::Protocol::kUdp) seqs.push_back(p.seq);
   });
   CbrSource source(star.sim, *star.bed.host(0), net::host_ip(1), 7000, 7001,
-                   100'000'000, 1000);
+                   sim::megabits_per_sec(100), sim::bytes(1000));
   source.start();
   star.sim.run_until(sim::milliseconds(5));
   source.stop();

@@ -18,7 +18,7 @@ namespace {
 struct Fixture {
   Fixture()
       : graph(net::make_fat_tree_16(
-            net::LinkSpec{10'000'000'000, sim::microseconds(5)})),
+            net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)})),
         routing(graph) {}
 
   KnownFlow flow(int s, int d, int tree, double rate) {
@@ -29,7 +29,7 @@ struct Fixture {
     f.src_host = s;
     f.dst_host = d;
     f.tree = tree;
-    f.rate_bps = rate;
+    f.rate_bps = sim::BitsPerSecF{rate};
     return f;
   }
 
@@ -53,7 +53,7 @@ TEST(TeState, LinkLoadsFollowPaths) {
     const auto it = loads.find(net::DirectedLink{hop.switch_node,
                                                  hop.out_port});
     ASSERT_NE(it, loads.end());
-    EXPECT_DOUBLE_EQ(it->second, 3e9);
+    EXPECT_DOUBLE_EQ(it->second.count(), 3e9);
   }
 }
 
@@ -80,7 +80,8 @@ TEST(TeState, OverlappingFlowsSum) {
   ASSERT_EQ(up.switch_node, up_b.switch_node);
   if (up.out_port == up_b.out_port) {
     EXPECT_DOUBLE_EQ(
-        loads.at(net::DirectedLink{up.switch_node, up.out_port}), 5e9);
+        loads.at(net::DirectedLink{up.switch_node, up.out_port}).count(),
+        5e9);
   }
 }
 
@@ -92,10 +93,12 @@ TEST(TeState, BottleneckIsMinResidual) {
   const auto loads = state.link_loads();
   // Path 0->4 tree 0 shares the edge uplink with 1->5 tree 0 (same base
   // cores for 4 and 5): residual 4e9 there, 10e9 elsewhere.
-  const double b0 = state.path_bottleneck(f.routing.path(0, 4, 0), loads);
+  const double b0 =
+      state.path_bottleneck(f.routing.path(0, 4, 0), loads).count();
   EXPECT_NEAR(b0, 4e9, 1.0);
   // A tree in the other agg group is free.
-  const double b2 = state.path_bottleneck(f.routing.path(0, 4, 2), loads);
+  const double b2 =
+      state.path_bottleneck(f.routing.path(0, 4, 2), loads).count();
   EXPECT_NEAR(b2, 10e9, 1.0);
 }
 
@@ -120,7 +123,7 @@ TEST(TeState, RemoveOldFlows) {
 struct TeFixture {
   TeFixture()
       : graph(net::make_fat_tree_16(
-            net::LinkSpec{10'000'000'000, sim::microseconds(5)})),
+            net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)})),
         bed(sim, graph, workload::TestbedConfig{}),
         te(sim, bed.controller(), PlanckTeConfig{}) {}
 
@@ -378,7 +381,7 @@ TEST(DemandEstimation, EmptyInput) {
 TEST(PollTe, SeparatesCollidingFlowsAfterPoll) {
   sim::Simulation sim;
   const auto graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::TestbedConfig cfg;
   cfg.enable_planck = false;
   cfg.switch_config.flow_accounting = true;
@@ -415,7 +418,7 @@ TEST(PollTe, SeparatesCollidingFlowsAfterPoll) {
 TEST(PollTe, NoRerouteWithoutCongestion) {
   sim::Simulation sim;
   const auto graph = net::make_fat_tree_16(
-      net::LinkSpec{10'000'000'000, sim::microseconds(5)});
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::TestbedConfig cfg;
   cfg.enable_planck = false;
   cfg.switch_config.flow_accounting = true;

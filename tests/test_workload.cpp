@@ -13,24 +13,24 @@ namespace planck::workload {
 namespace {
 
 TEST(Workloads, StrideMapping) {
-  const auto flows = make_stride(16, 8, 100);
+  const auto flows = make_stride(16, 8, sim::bytes(100));
   ASSERT_EQ(flows.size(), 16u);
   for (int x = 0; x < 16; ++x) {
     EXPECT_EQ(flows[static_cast<std::size_t>(x)].src, x);
     EXPECT_EQ(flows[static_cast<std::size_t>(x)].dst, (x + 8) % 16);
-    EXPECT_EQ(flows[static_cast<std::size_t>(x)].bytes, 100);
+    EXPECT_EQ(flows[static_cast<std::size_t>(x)].bytes, sim::bytes(100));
   }
 }
 
 TEST(Workloads, StrideOneIsNeighbor) {
-  const auto flows = make_stride(4, 1, 10);
+  const auto flows = make_stride(4, 1, sim::bytes(10));
   EXPECT_EQ(flows[3].dst, 0);
 }
 
 TEST(Workloads, RandomBijectionIsPermutationWithoutFixedPoints) {
   sim::Rng rng(5);
   for (int run = 0; run < 20; ++run) {
-    const auto flows = make_random_bijection(16, 100, rng);
+    const auto flows = make_random_bijection(16, sim::bytes(100), rng);
     std::set<int> dsts;
     for (const auto& f : flows) {
       EXPECT_NE(f.src, f.dst);
@@ -42,8 +42,8 @@ TEST(Workloads, RandomBijectionIsPermutationWithoutFixedPoints) {
 
 TEST(Workloads, RandomBijectionVariesAcrossRuns) {
   sim::Rng rng(5);
-  const auto a = make_random_bijection(16, 100, rng);
-  const auto b = make_random_bijection(16, 100, rng);
+  const auto a = make_random_bijection(16, sim::bytes(100), rng);
+  const auto b = make_random_bijection(16, sim::bytes(100), rng);
   bool differs = false;
   for (std::size_t i = 0; i < a.size(); ++i) differs |= a[i].dst != b[i].dst;
   EXPECT_TRUE(differs);
@@ -52,7 +52,7 @@ TEST(Workloads, RandomBijectionVariesAcrossRuns) {
 TEST(Workloads, RandomAvoidsSelf) {
   sim::Rng rng(7);
   for (int run = 0; run < 50; ++run) {
-    for (const auto& f : make_random(16, 100, rng)) {
+    for (const auto& f : make_random(16, sim::bytes(100), rng)) {
       EXPECT_NE(f.src, f.dst);
     }
   }
@@ -63,7 +63,7 @@ TEST(Workloads, RandomAllowsHotspots) {
   sim::Rng rng(11);
   int runs_with_dup = 0;
   for (int run = 0; run < 50; ++run) {
-    const auto flows = make_random(16, 100, rng);
+    const auto flows = make_random(16, sim::bytes(100), rng);
     std::set<int> dsts;
     for (const auto& f : flows) dsts.insert(f.dst);
     if (dsts.size() < flows.size()) ++runs_with_dup;
@@ -77,7 +77,7 @@ TEST(Workloads, StaggeredRespectsLocalityKnobs) {
   int same_pod = 0;
   const int trials = 200;
   for (int run = 0; run < trials; ++run) {
-    for (const auto& f : make_staggered(16, 100, 0.5, 0.3, rng)) {
+    for (const auto& f : make_staggered(16, sim::bytes(100), 0.5, 0.3, rng)) {
       EXPECT_NE(f.src, f.dst);
       if (f.src / 2 == f.dst / 2) ++same_edge;
       if (f.src / 4 == f.dst / 4) ++same_pod;
@@ -151,37 +151,38 @@ TEST(Experiment, SmallStaticRunCompletes) {
   ExperimentConfig cfg;
   cfg.scheme = Scheme::kStatic;
   cfg.workload = WorkloadKind::kStride;
-  cfg.flow_bytes = 2 * 1024 * 1024;
+  cfg.flow_bytes = sim::bytes(2 * 1024 * 1024);
   cfg.seed = 3;
   const auto r = run_experiment(cfg);
   EXPECT_TRUE(r.all_complete);
   EXPECT_EQ(r.flows.size(), 16u);
-  EXPECT_GT(r.avg_flow_throughput_bps, 0.0);
+  EXPECT_GT(r.avg_flow_throughput.count(), 0.0);
   EXPECT_GT(r.makespan, 0);
 }
 
 TEST(Experiment, OptimalBeatsStaticOnStride) {
   ExperimentConfig cfg;
   cfg.workload = WorkloadKind::kStride;
-  cfg.flow_bytes = 8 * 1024 * 1024;
+  cfg.flow_bytes = sim::bytes(8 * 1024 * 1024);
   cfg.seed = 4;
   cfg.scheme = Scheme::kStatic;
   const auto rs = run_experiment(cfg);
   cfg.scheme = Scheme::kOptimal;
   const auto ro = run_experiment(cfg);
   ASSERT_TRUE(rs.all_complete && ro.all_complete);
-  EXPECT_GT(ro.avg_flow_throughput_bps, rs.avg_flow_throughput_bps);
+  EXPECT_GT(ro.avg_flow_throughput, rs.avg_flow_throughput);
 }
 
 TEST(Experiment, DeterministicForSeed) {
   ExperimentConfig cfg;
   cfg.scheme = Scheme::kStatic;
   cfg.workload = WorkloadKind::kRandomBijection;
-  cfg.flow_bytes = 2 * 1024 * 1024;
+  cfg.flow_bytes = sim::bytes(2 * 1024 * 1024);
   cfg.seed = 77;
   const auto a = run_experiment(cfg);
   const auto b = run_experiment(cfg);
-  EXPECT_DOUBLE_EQ(a.avg_flow_throughput_bps, b.avg_flow_throughput_bps);
+  EXPECT_DOUBLE_EQ(a.avg_flow_throughput.count(),
+                   b.avg_flow_throughput.count());
   EXPECT_EQ(a.makespan, b.makespan);
 }
 
@@ -189,7 +190,7 @@ TEST(Experiment, SeedsChangeRandomWorkloads) {
   ExperimentConfig cfg;
   cfg.scheme = Scheme::kStatic;
   cfg.workload = WorkloadKind::kRandomBijection;
-  cfg.flow_bytes = 2 * 1024 * 1024;
+  cfg.flow_bytes = sim::bytes(2 * 1024 * 1024);
   cfg.seed = 1;
   const auto a = run_experiment(cfg);
   cfg.seed = 2;
@@ -201,7 +202,7 @@ TEST(Experiment, ShuffleReportsHostCompletions) {
   ExperimentConfig cfg;
   cfg.scheme = Scheme::kOptimal;
   cfg.workload = WorkloadKind::kShuffle;
-  cfg.flow_bytes = 256 * 1024;  // tiny shuffle: 16x15 transfers
+  cfg.flow_bytes = sim::bytes(256 * 1024);  // tiny shuffle: 16x15 transfers
   cfg.seed = 9;
   const auto r = run_experiment(cfg);
   EXPECT_TRUE(r.all_complete);
@@ -214,7 +215,7 @@ TEST(Experiment, PlanckTeRunReportsReroutes) {
   ExperimentConfig cfg;
   cfg.scheme = Scheme::kPlanckTe;
   cfg.workload = WorkloadKind::kStride;
-  cfg.flow_bytes = 8 * 1024 * 1024;
+  cfg.flow_bytes = sim::bytes(8 * 1024 * 1024);
   cfg.seed = 6;
   const auto r = run_experiment(cfg);
   EXPECT_TRUE(r.all_complete);

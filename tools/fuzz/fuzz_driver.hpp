@@ -1,0 +1,134 @@
+#pragma once
+
+// Dual-mode fuzz entry point (DESIGN.md §7). A harness defines
+//
+//   void planck_fuzz_one(const std::uint8_t* data, std::size_t size);
+//
+// and includes this header last. Two build modes:
+//
+//  - PLANCK_LIBFUZZER defined: exports LLVMFuzzerTestOneInput for
+//    clang's -fsanitize=fuzzer. Used when the toolchain has libFuzzer.
+//  - otherwise: a standalone main() that replays corpus files and, with
+//    --smoke <seconds> [paths...], replays the corpus then feeds
+//    deterministic pseudo-random inputs until the deadline. This is the
+//    mode CI's gcc-only containers run: no libFuzzer dependency, same
+//    harness body, contracts as the oracle (a violation aborts).
+//
+// Smoke mode is deterministic (fixed splitmix64 seed), so a ctest failure
+// reproduces locally with the same command line.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+void planck_fuzz_one(const std::uint8_t* data, std::size_t size);
+
+#if defined(PLANCK_LIBFUZZER)
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  planck_fuzz_one(data, size);
+  return 0;
+}
+
+#else
+
+namespace planck::fuzz {
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline int replay_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  planck_fuzz_one(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                  bytes.size());
+  return 0;
+}
+
+/// Expands a path argument to the corpus files beneath it (or itself).
+inline std::vector<std::string> corpus_files(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());  // deterministic replay order
+  } else {
+    files.push_back(path);
+  }
+  return files;
+}
+
+inline int standalone_main(int argc, char** argv) {
+  double smoke_seconds = 0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0 && i + 1 < argc) {
+      smoke_seconds = std::atof(argv[++i]);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+
+  int corpus_count = 0;
+  for (const auto& path : paths) {
+    for (const auto& file : corpus_files(path)) {
+      if (replay_file(file) != 0) return 1;
+      ++corpus_count;
+    }
+  }
+  std::printf("fuzz: replayed %d corpus input(s)\n", corpus_count);
+
+  if (smoke_seconds > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(smoke_seconds));
+    std::uint64_t rng = 0x9da2ee5c0f8a1ull;  // fixed: smoke is reproducible
+    std::vector<std::uint8_t> input;
+    std::uint64_t iterations = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const std::size_t len = splitmix64(rng) % 512;
+      input.resize(len);
+      for (std::size_t i = 0; i < len; i += 8) {
+        const std::uint64_t word = splitmix64(rng);
+        for (std::size_t b = 0; b < 8 && i + b < len; ++b) {
+          input[i + b] = static_cast<std::uint8_t>(word >> (8 * b));
+        }
+      }
+      planck_fuzz_one(input.data(), input.size());
+      ++iterations;
+    }
+    std::printf("fuzz: smoke ran %llu random input(s) in %.0f s\n",
+                static_cast<unsigned long long>(iterations), smoke_seconds);
+  }
+  return 0;
+}
+
+}  // namespace planck::fuzz
+
+int main(int argc, char** argv) {
+  return planck::fuzz::standalone_main(argc, argv);
+}
+
+#endif  // PLANCK_LIBFUZZER

@@ -1,0 +1,122 @@
+// Randomized-operations fuzz harness for the Dynamic Threshold shared
+// buffer (switchsim::SharedBuffer), with the conservation contracts as the
+// oracle: this target compiles with PLANCK_ENABLE_CONTRACTS, so every
+// admit/release/set_port_cap re-checks that per-port shared occupancy sums
+// to the pool's used counter, the pool stays within its 9 MB physical
+// size, and the DT alpha threshold held at admission.
+//
+// On top of the built-in contracts, the harness keeps its own FIFO ledger
+// of admitted frame sizes per port and checks that the buffer's idea of
+// each queue depth matches the ledger exactly — catching accounting drift
+// that conservation alone (which only sums what the buffer believes) would
+// miss.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "switchsim/shared_buffer.hpp"
+
+#if !PLANCK_CONTRACTS_ENABLED
+#error "fuzz_dt_buffer must build with PLANCK_ENABLE_CONTRACTS"
+#endif
+
+namespace {
+
+[[noreturn]] void ledger_mismatch(int port, long long buffer_depth,
+                                  long long ledger_depth) {
+  std::fprintf(stderr,
+               "fuzz_dt_buffer: ledger mismatch on port %d: "
+               "buffer=%lld ledger=%lld\n",
+               port, buffer_depth, ledger_depth);
+  std::abort();
+}
+
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  std::uint8_t u8() { return pos < size ? data[pos++] : 0; }
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(u8() | (u8() << 8));
+  }
+  bool done() const { return pos >= size; }
+};
+
+}  // namespace
+
+void planck_fuzz_one(const std::uint8_t* data, std::size_t size) {
+  namespace sim = planck::sim;
+  using planck::switchsim::BufferConfig;
+  using planck::switchsim::SharedBuffer;
+
+  Reader in{data, size};
+
+  // First bytes pick the configuration: port count and alpha sweep the
+  // paper's Trident defaults plus corner values (alpha >= pool/reserve
+  // ratios, tiny alpha, single port).
+  static constexpr double kAlphas[] = {0.8, 0.5, 2.0, 1.0 / 64.0};
+  const int num_ports = 1 + in.u8() % 64;
+  BufferConfig config;
+  config.alpha = kAlphas[in.u8() % 4];
+  SharedBuffer buffer(config, num_ports);
+
+  std::vector<std::deque<sim::Bytes>> ledger(
+      static_cast<std::size_t>(num_ports));
+
+  const auto check_port = [&](int port) {
+    sim::Bytes sum{0};
+    for (const sim::Bytes b : ledger[static_cast<std::size_t>(port)]) {
+      sum += b;
+    }
+    if (sum != buffer.queue_bytes(port)) {
+      ledger_mismatch(port, buffer.queue_bytes(port).count(), sum.count());
+    }
+  };
+
+  while (!in.done()) {
+    const std::uint8_t op = in.u8() & 7;
+    const int port = in.u8() % num_ports;
+    auto& q = ledger[static_cast<std::size_t>(port)];
+    if (op <= 3) {  // admit (weighted: fills toward the DT plateau)
+      // Ethernet frame sizes: 64-byte minimum to MTU-sized 1538.
+      const sim::Bytes frame = sim::bytes(64 + in.u16() % 1475);
+      if (buffer.admit(port, frame)) q.push_back(frame);
+      check_port(port);
+    } else if (op <= 5) {  // release the head-of-line frame
+      if (!q.empty()) {
+        buffer.release(port, q.front());
+        q.pop_front();
+        check_port(port);
+      }
+    } else if (op == 6) {  // reconfigure the port's hard cap
+      static constexpr long long kCaps[] = {-1, 8 * 1518, 768 * 1024,
+                                            4 * 1024 * 1024};
+      buffer.set_port_cap(port, sim::Bytes{kCaps[in.u8() % 4]});
+    } else {  // drain the port completely
+      while (!q.empty()) {
+        buffer.release(port, q.front());
+        q.pop_front();
+      }
+      check_port(port);
+    }
+  }
+
+  // Drain everything: a fully-released buffer must account to zero.
+  for (int port = 0; port < num_ports; ++port) {
+    auto& q = ledger[static_cast<std::size_t>(port)];
+    while (!q.empty()) {
+      buffer.release(port, q.front());
+      q.pop_front();
+    }
+  }
+  if (buffer.total_used() != sim::Bytes{0} ||
+      buffer.shared_used() != sim::Bytes{0}) {
+    ledger_mismatch(-1, buffer.total_used().count(), 0);
+  }
+}
+
+#include "fuzz_driver.hpp"

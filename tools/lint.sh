@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Single entry point for all static analysis (DESIGN.md §7).
 #
-#   tools/lint.sh            run everything available on this machine
-#   tools/lint.sh --fast     planck-lint only (no clang tooling, no build)
+#   tools/lint.sh                       run everything available here
+#   tools/lint.sh --fast                planck-lint only (no clang tooling)
+#   tools/lint.sh --fix                 rewrite style in place (clang-format -i)
+#   tools/lint.sh --require-clang-tools fail (not skip) when clang tooling
+#                                       is missing — CI uses this so a broken
+#                                       tool install cannot silently pass
 #
 # Layers, in order:
 #   1. planck-lint selftest  — proves the analyzer still catches its seeded
@@ -12,11 +16,10 @@
 #                              with a notice when clang-tidy is not installed,
 #                              e.g. in the minimal dev container).
 #   4. clang-format          — style drift check, --dry-run only (gated the
-#                              same way; never rewrites files).
+#                              same way; never rewrites files unless --fix).
 #
 # Exit status is non-zero if any executed layer finds a problem. Skipped
-# layers (missing tools) do not fail the run — CI installs the tools, so
-# nothing is skipped there.
+# layers (missing tools) do not fail the run unless --require-clang-tools.
 
 set -u
 
@@ -24,11 +27,15 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo_root"
 
 fast=0
+fix=0
+require_clang_tools=0
 for arg in "$@"; do
   case "$arg" in
     --fast) fast=1 ;;
+    --fix) fix=1 ;;
+    --require-clang-tools) require_clang_tools=1 ;;
     -h|--help)
-      sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -40,6 +47,29 @@ done
 
 status=0
 note() { printf '\n== %s ==\n' "$1"; }
+
+missing_tool() {
+  # $1 = tool name. Fatal under --require-clang-tools, a notice otherwise.
+  if [ "$require_clang_tools" -eq 1 ]; then
+    echo "lint.sh: $1 required (--require-clang-tools) but not installed" >&2
+    status=1
+  else
+    echo "$1 not installed — skipped (CI runs it; apt-get install $1)"
+  fi
+}
+
+if [ "$fix" -eq 1 ]; then
+  note "clang-format --fix"
+  if command -v clang-format >/dev/null 2>&1; then
+    find src tests bench tools examples \
+        \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+      xargs -0 clang-format -i || status=1
+    echo "lint.sh: reformatted in place; review the diff"
+  else
+    missing_tool clang-format
+  fi
+  exit "$status"
+fi
 
 note "planck-lint selftest"
 python3 tools/planck_lint/planck_lint.py --selftest || status=1
@@ -68,7 +98,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
     status=1
   fi
 else
-  echo "clang-tidy not installed — skipped (CI runs it; apt-get install clang-tidy)"
+  missing_tool clang-tidy
 fi
 
 note "clang-format"
@@ -76,7 +106,7 @@ if command -v clang-format >/dev/null 2>&1; then
   find src tests examples bench -name '*.cpp' -o -name '*.hpp' |
     xargs clang-format --dry-run -Werror || status=1
 else
-  echo "clang-format not installed — skipped (CI runs it; apt-get install clang-format)"
+  missing_tool clang-format
 fi
 
 if [ "$status" -eq 0 ]; then

@@ -27,8 +27,38 @@ mechanically (see DESIGN.md section 7 for the catalogue and rationale):
   raw-cast             reinterpret_cast / const_cast anywhere; every site
                        must be audited and carry a suppression.
 
+Dimensional-units checks (scoped to src/net/, src/switchsim/, src/tcp/,
+src/te/, src/workload/ — the trees migrated to sim/units.hpp):
+
+  raw-unit-field       a declaration of a raw arithmetic type whose name
+                       says it carries a unit (…bytes…, …bits…, …bps…,
+                       …packets…) outside a parameter list: declare it
+                       sim::Bytes / sim::Bits / sim::BitsPerSec /
+                       sim::Packets instead. Intentional raw boundaries
+                       (ctor params, collector wire formats) carry an
+                       allowance naming the boundary.
+  unit-mixing          arithmetic that crosses unit families without a
+                       named conversion: byte<->bit scaling by a literal 8
+                       instead of sim::to_bits()/sim::to_bytes(), or a
+                       binary op combining a …bytes… name with a …bits…/
+                       …bps… name. The sanctioned crossings are the
+                       NAMED_CONVERSIONS defined in src/sim/units.hpp.
+  unpaired-enqueue     a SharedBuffer::admit() call in a function from
+                       which no release() call is reachable through the
+                       scanned call graph: admitted bytes would leak from
+                       the conservation ledger.
+
+Meta check:
+
+  stale-allowance      an allow()/allow-file() comment that suppresses
+                       nothing (or names an unknown check): allowances must
+                       die with the violation they excused. Only runs when
+                       every check is enabled, so a --checks subset cannot
+                       make live allowances look dead.
+
 Suppressions (the checker understands both forms; place on the offending
-line or the line directly above it):
+line or the line directly above it; `allow(a, b)` suppresses exactly the
+named checks and nothing else):
 
   // planck-lint: allow(check-a, check-b) — rationale
   // planck-lint: allow-file(check-a) — file-wide, put near the top
@@ -57,7 +87,29 @@ ALL_CHECKS = [
     "pointer-key",
     "time-unit",
     "raw-cast",
+    "raw-unit-field",
+    "unit-mixing",
+    "unpaired-enqueue",
+    "stale-allowance",
 ]
+
+# The trees migrated to the strong unit types in src/sim/units.hpp; the
+# dimensional checks only apply here (core/, controller/ and sim/ keep raw
+# representations at their boundaries by design).
+UNITS_SCOPE = ["src/net/", "src/switchsim/", "src/tcp/", "src/te/",
+               "src/workload/"]
+
+# Checks restricted to path prefixes; a check absent here runs everywhere.
+CHECK_SCOPE = {
+    "raw-unit-field": UNITS_SCOPE,
+    "unit-mixing": UNITS_SCOPE,
+    "unpaired-enqueue": UNITS_SCOPE,
+}
+
+# The sanctioned unit-crossing functions (src/sim/units.hpp). unit-mixing
+# points offenders here; keep in sync with DESIGN.md section 7.
+NAMED_CONVERSIONS = ["to_bits", "to_bytes", "to_rate_estimate", "per_second",
+                     "rate_of", "serialization_delay", "bytes_in"]
 
 # Per-check path prefixes (relative to the repo root, '/'-separated) where
 # the check does not apply.
@@ -65,7 +117,7 @@ PATH_EXEMPTIONS = {
     "wall-clock": ["src/sim/random.hpp", "bench/"],
 }
 
-SUPPRESS_RE = re.compile(r"planck-lint:\s*allow(-file)?\(([^)]*)\)")
+SUPPRESS_RE = re.compile(r"planck-lint:\s*allow(-file)?\s*\(([^)]*)\)")
 EXPECT_RE = re.compile(r"//\s*EXPECT-LINT:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
 
 
@@ -86,7 +138,9 @@ class SourceFile:
     raw: str
     code: str = ""  # comments/strings blanked, same offsets
     allow_lines: dict = field(default_factory=dict)  # line -> set(checks)
-    allow_file: set = field(default_factory=set)
+    allow_file: dict = field(default_factory=dict)  # check -> decl line
+    used_allowances: set = field(default_factory=set)  # (line, check)
+    used_file_allowances: set = field(default_factory=set)  # check
 
 
 def strip_comments_and_strings(text):
@@ -145,7 +199,8 @@ def load_file(root, relpath):
         for m in SUPPRESS_RE.finditer(line):
             checks = {c.strip() for c in m.group(2).split(",") if c.strip()}
             if m.group(1):  # allow-file
-                sf.allow_file |= checks
+                for check in checks:
+                    sf.allow_file.setdefault(check, lineno)
             else:
                 sf.allow_lines.setdefault(lineno, set()).update(checks)
     sf.code = strip_comments_and_strings(raw)
@@ -190,12 +245,24 @@ def match_angle(code, open_idx):
 
 
 def suppressed(sf, lineno, check):
-    if check in sf.allow_file or "*" in sf.allow_file:
-        return True
+    """True when an allowance covers (lineno, check); records which
+    allowance fired so stale-allowance can flag the ones that never do.
+    Only the exact named checks (or '*') suppress — allow(a, b) suppresses
+    a and b on that line and nothing else."""
     for probe in (lineno, lineno - 1):
         allowed = sf.allow_lines.get(probe)
-        if allowed and (check in allowed or "*" in allowed):
+        if allowed and check in allowed:
+            sf.used_allowances.add((probe, check))
             return True
+        if allowed and "*" in allowed:
+            sf.used_allowances.add((probe, "*"))
+            return True
+    if check in sf.allow_file:
+        sf.used_file_allowances.add(check)
+        return True
+    if "*" in sf.allow_file:
+        sf.used_file_allowances.add("*")
+        return True
     return False
 
 
@@ -203,7 +270,41 @@ def exempt(path, check):
     for prefix in PATH_EXEMPTIONS.get(check, []):
         if path == prefix or path.startswith(prefix):
             return True
+    scope = CHECK_SCOPE.get(check)
+    if scope is not None and not any(path.startswith(p) for p in scope):
+        return True
     return False
+
+
+def check_stale_allowances(files, findings):
+    """Flags allow()/allow-file() comments whose named checks never
+    suppressed a finding, and allowances naming unknown checks. Run after
+    filtering, so `used_allowances` is populated."""
+    known = set(ALL_CHECKS) | {"*"}
+    for sf in files:
+        for lineno, checks in sorted(sf.allow_lines.items()):
+            for check in sorted(checks):
+                if check not in known:
+                    findings.append(Finding(
+                        sf.path, lineno, "stale-allowance",
+                        f"allowance names unknown check '{check}' (known: "
+                        f"{', '.join(ALL_CHECKS)})"))
+                elif (lineno, check) not in sf.used_allowances:
+                    findings.append(Finding(
+                        sf.path, lineno, "stale-allowance",
+                        f"allowance for '{check}' suppresses nothing on "
+                        f"this or the next line; delete it (allowances "
+                        f"must die with the violation they excused)"))
+        for check, lineno in sorted(sf.allow_file.items()):
+            if check not in known:
+                findings.append(Finding(
+                    sf.path, lineno, "stale-allowance",
+                    f"file-wide allowance names unknown check '{check}'"))
+            elif check not in sf.used_file_allowances:
+                findings.append(Finding(
+                    sf.path, lineno, "stale-allowance",
+                    f"file-wide allowance for '{check}' suppresses nothing "
+                    f"in this file; delete it"))
 
 
 # --------------------------------------------------------------------------
@@ -532,6 +633,147 @@ def check_raw_cast(sf, findings):
 
 
 # --------------------------------------------------------------------------
+# Check: raw-unit-field
+# --------------------------------------------------------------------------
+
+RAW_ARITH_TYPE = (r"(?:std::)?u?int(?:8|16|32|64)?_t|(?:std::)?size_t|"
+                  r"unsigned(?:\s+(?:int|long(?:\s+long)?))?|"
+                  r"long\s+long|long|int|short|double|float")
+UNIT_NAME_TOKENS = re.compile(r"(?:^|_)(?:bytes?|bits?|bps|packets?|pkts?)(?:_|$)")
+RAW_UNIT_DECL_RE = re.compile(
+    rf"\b({RAW_ARITH_TYPE})\s+([A-Za-z_]\w*)\s*(?:=[^;]*|\{{[^;{{}}]*\}})?;")
+
+
+def paren_depths(code):
+    """Prefix array of '(' nesting depth at each offset (braces ignored),
+    used to tell field/local declarations from function parameters."""
+    depths = [0] * (len(code) + 1)
+    depth = 0
+    for i, c in enumerate(code):
+        depths[i] = depth
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth = max(0, depth - 1)
+    depths[len(code)] = depth
+    return depths
+
+
+def check_raw_unit_field(sf, findings):
+    depths = paren_depths(sf.code)
+    for m in RAW_UNIT_DECL_RE.finditer(sf.code):
+        if depths[m.start()] > 0:
+            continue  # function parameter: raw boundaries stay explicit
+        name = m.group(2)
+        if not UNIT_NAME_TOKENS.search(name.lower().rstrip("_")):
+            continue
+        lineno = line_of(sf.code, m.start())
+        findings.append(Finding(
+            sf.path, lineno, "raw-unit-field",
+            f"raw '{m.group(1)}' declaration '{name}' carries a unit; "
+            f"declare it sim::Bytes/sim::Bits/sim::BitsPerSec/sim::Packets "
+            f"(src/sim/units.hpp), or mark an intentional boundary with an "
+            f"allowance naming it"))
+
+
+# --------------------------------------------------------------------------
+# Check: unit-mixing
+# --------------------------------------------------------------------------
+
+BYTE_NAME = r"[A-Za-z_]\w*byte\w*"
+BIT_NAME = r"[A-Za-z_]\w*(?:bits?|bps)\w*"
+BYTE_BIT_SCALE_RE = re.compile(
+    rf"\b({BYTE_NAME})(?:\.count\s*\(\s*\))?\s*([*/])\s*8(?:\.0)?\b|"
+    rf"\b8(?:\.0)?\s*\*\s*({BYTE_NAME})\b")
+MIXED_BINOP_RE = re.compile(
+    rf"\b({BYTE_NAME})(?:\.count\s*\(\s*\))?\s*"
+    rf"(\+|-|<=?|>=?|==|!=)\s*({BIT_NAME})\b|"
+    rf"\b({BIT_NAME})(?:\.count\s*\(\s*\))?\s*"
+    rf"(\+|-|<=?|>=?|==|!=)\s*({BYTE_NAME})\b")
+
+
+def check_unit_mixing(sf, findings):
+    conversions = "/".join(NAMED_CONVERSIONS[:2])
+    for m in BYTE_BIT_SCALE_RE.finditer(sf.code):
+        name = m.group(1) or m.group(3)
+        lineno = line_of(sf.code, m.start())
+        findings.append(Finding(
+            sf.path, lineno, "unit-mixing",
+            f"byte<->bit scaling of '{name}' by a literal 8; use the named "
+            f"conversions sim::{conversions}() (or sim::per_second/rate_of "
+            f"for rates) so the crossing is typed and auditable"))
+    for m in MIXED_BINOP_RE.finditer(sf.code):
+        a = m.group(1) or m.group(4)
+        b = m.group(3) or m.group(6)
+        op = m.group(2) or m.group(5)
+        # A name can legitimately contain both tokens (e.g. a
+        # bytes_to_bits table); skip ambiguous operands.
+        ambiguous = [n for n in (a, b)
+                     if "byte" in n and re.search(r"bits?|bps", n)]
+        if ambiguous:
+            continue
+        lineno = line_of(sf.code, m.start())
+        findings.append(Finding(
+            sf.path, lineno, "unit-mixing",
+            f"'{a} {op} {b}' combines a byte-unit name with a bit-unit "
+            f"name; convert through sim::{'/'.join(NAMED_CONVERSIONS[:3])}() "
+            f"before mixing"))
+
+
+# --------------------------------------------------------------------------
+# Check: unpaired-enqueue
+# --------------------------------------------------------------------------
+
+ADMIT_RE = re.compile(r"(?:\.|->)\s*admit\s*\(")
+RELEASE_RE = re.compile(r"(?:\.|->)\s*release\s*\(")
+
+
+def check_unpaired_enqueue(files, findings):
+    """Every SharedBuffer::admit() site must sit in a function from which a
+    release() call is reachable through the scanned call graph (fixpoint
+    over simple call names, cross-file): otherwise bytes admitted to the
+    conservation ledger can never be returned, and the DT pool leaks."""
+    scoped = [sf for sf in files if not exempt(sf.path, "unpaired-enqueue")]
+    all_funcs = []
+    funcs_by_file = {}
+    for sf in scoped:
+        funcs = extract_functions(sf)
+        funcs_by_file[sf.path] = funcs
+        all_funcs.extend(funcs)
+
+    by_name = {}
+    for fn in all_funcs:
+        by_name.setdefault(fn.name, []).append(fn)
+    reaches = {id(fn): RELEASE_RE.search(fn.body) is not None
+               for fn in all_funcs}
+    changed = True
+    while changed:
+        changed = False
+        for fn in all_funcs:
+            if reaches[id(fn)]:
+                continue
+            for callee in fn.calls:
+                targets = by_name.get(callee)
+                if targets and any(reaches[id(t)] for t in targets):
+                    reaches[id(fn)] = True
+                    changed = True
+                    break
+
+    for sf in scoped:
+        for fn in funcs_by_file[sf.path]:
+            if reaches[id(fn)]:
+                continue
+            for m in ADMIT_RE.finditer(fn.body):
+                lineno = line_of(sf.code, fn.start + m.start())
+                findings.append(Finding(
+                    sf.path, lineno, "unpaired-enqueue",
+                    f"admit() in '{fn.name}' with no release() reachable "
+                    f"through the call graph: admitted bytes can never "
+                    f"leave the shared-buffer ledger (dequeue or drop "
+                    f"accounting is missing)"))
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -554,11 +796,15 @@ def run_checks(root, paths, checks):
     findings = []
     if "unordered-iteration" in checks:
         check_unordered_iteration(files, findings)
+    if "unpaired-enqueue" in checks:
+        check_unpaired_enqueue(files, findings)
     per_file_checks = {
         "wall-clock": check_wall_clock,
         "pointer-key": check_pointer_key,
         "time-unit": check_time_unit,
         "raw-cast": check_raw_cast,
+        "raw-unit-field": check_raw_unit_field,
+        "unit-mixing": check_unit_mixing,
     }
     for sf in files:
         for check, fn in per_file_checks.items():
@@ -568,6 +814,13 @@ def run_checks(root, paths, checks):
     kept = [f for f in findings
             if not exempt(f.path, f.check)
             and not suppressed(by_path[f.path], f.line, f.check)]
+    # stale-allowance runs after filtering (it needs to know which
+    # allowances fired) and only with the full check set: a --checks
+    # subset would make allowances for the disabled checks look dead.
+    if "stale-allowance" in checks and checks >= set(ALL_CHECKS):
+        stale = []
+        check_stale_allowances(files, stale)
+        kept.extend(f for f in stale if not exempt(f.path, f.check))
     kept.sort(key=lambda f: (f.path, f.line, f.check))
     return kept
 

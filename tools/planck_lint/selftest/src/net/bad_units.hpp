@@ -1,0 +1,57 @@
+// Seeded violations for the dimensional-units checks. This fixture lives
+// under selftest/src/net/ because raw-unit-field and unit-mixing are
+// scoped to the migrated trees — the same file one directory up would be
+// out of scope and must produce nothing. Never compiled.
+
+#include <cstdint>
+
+namespace fixture {
+
+// --- raw-unit-field ------------------------------------------------------
+
+struct RawFields {
+  std::int64_t queued_bytes = 0;       // EXPECT-LINT: raw-unit-field
+  double estimated_rate_bps = 0.0;     // EXPECT-LINT: raw-unit-field
+  unsigned long long rx_packets_ = 0;  // EXPECT-LINT: raw-unit-field
+
+  // Clean: parameters are explicit raw boundaries, never flagged.
+  void start_flow(std::int64_t bytes, double rate_bps);
+
+  // Clean: no unit token in the name, and typed fields are the fix.
+  std::int64_t next_seq_ = 0;
+  int payload_ = 0;
+};
+
+// --- unit-mixing ---------------------------------------------------------
+
+inline long mixing(long frame_bytes, long budget_bits, long rx_bytes) {
+  long wire_bits = frame_bytes * 8;    // EXPECT-LINT: unit-mixing, raw-unit-field
+  if (rx_bytes < budget_bits) {        // EXPECT-LINT: unit-mixing
+    return wire_bits;
+  }
+  return 0;
+}
+
+// --- suppression exactness -----------------------------------------------
+// allow(a, b) must excuse exactly the named checks: the first line allows
+// only raw-unit-field, so unit-mixing still fires; the second allows both
+// and must be silent.
+
+inline void suppression_exactness(long wire_bytes, long burst_bytes) {
+  // planck-lint: allow(raw-unit-field) — seeded: only the named check is excused
+  long rate_bps = wire_bytes * 8;      // EXPECT-LINT: unit-mixing
+  // planck-lint: allow(raw-unit-field, unit-mixing) — seeded: multi-check allow
+  long peak_bps = burst_bytes * 8;
+  (void)rate_bps;
+  (void)peak_bps;
+}
+
+// --- stale-allowance -----------------------------------------------------
+
+// planck-lint: allow(wall-clock) — seeded: excuses nothing  // EXPECT-LINT: stale-allowance
+inline int harmless() { return 0; }
+
+// planck-lint: allow(no-such-check) — seeded: unknown name  // EXPECT-LINT: stale-allowance
+inline int also_harmless() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+// Seeded violations for the unpaired-enqueue conservation check. Lives
+// under selftest/src/switchsim/ to be in the check's scope. The clean
+// shapes mirror the real Switch: release() is reachable only through a
+// scheduled completion callback, which the name-based call graph must
+// still credit. Never compiled.
+
+struct Buf {
+  bool admit(int port, long size);
+  void release(int port, long size);
+};
+
+// Violation: admit with no release reachable anywhere from this function.
+struct LeakySwitch {
+  Buf buffer_;
+  void leak_enqueue(int port, long size) {
+    buffer_.admit(port, size);  // EXPECT-LINT: unpaired-enqueue
+  }
+};
+
+// Clean: the real switch shape — enqueue admits, the drain completion
+// (reached via start_tx's scheduled lambda) releases.
+struct PairedSwitch {
+  Buf buffer_;
+  template <class F>
+  void schedule(F f);
+
+  void enqueue(int port, long size) {
+    if (!buffer_.admit(port, size)) {
+      return;  // dropped: DT refused, nothing entered the ledger
+    }
+    start_tx(port);
+  }
+
+  void start_tx(int port) {
+    schedule([this, port] { finish_tx(port); });
+  }
+
+  void finish_tx(int port) {
+    buffer_.release(port, 1518);
+  }
+};
+
+// Clean: drop-side accounting counts too — flush releases directly.
+struct FlushingSwitch {
+  Buf buffer_;
+  void flush_enqueue(int port, long size) {
+    if (buffer_.admit(port, size)) {
+      buffer_.release(port, size);
+    }
+  }
+};
