@@ -67,8 +67,9 @@ void print_stage(const char* stage, const stats::Samples& s,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 12", "sample latency event timeline (10 Gbps)");
+  bench::JsonReport report(argc, argv);
 
   std::printf("\npacket sent --> sample at collector --> stable estimate\n");
 
@@ -77,6 +78,9 @@ int main() {
   print_stage("wire -> collector", minb.wire_to_collector_us, "75-150 us");
   print_stage("collector -> stable estimate", minb.estimate_gap_us,
               "200-700 us");
+  report.add_latency("fig12.minbuffer.wire_to_collector",
+                     minb.wire_to_collector_us);
+  report.add_latency("fig12.minbuffer.estimate_gap", minb.estimate_gap_us);
 
   std::printf("\ndefault (4 MB) monitor port, congested:\n");
   const Breakdown buf = run_case(sim::mebibytes(4), /*congested=*/true);
@@ -84,6 +88,9 @@ int main() {
               "2500-3500 us");
   print_stage("collector -> stable estimate", buf.estimate_gap_us,
               "200-700 us");
+  report.add_latency("fig12.default.wire_to_collector",
+                     buf.wire_to_collector_us);
+  report.add_latency("fig12.default.estimate_gap", buf.estimate_gap_us);
 
   std::printf("\ntotal measurement latency:\n");
   std::printf("  minbuffer : ~%.0f-%.0f us   (paper: 275-850 us)\n",
@@ -95,5 +102,5 @@ int main() {
               (buf.wire_to_collector_us.percentile(95) +
                buf.estimate_gap_us.percentile(95)) /
                   1000.0);
-  return 0;
+  return report.write() ? 0 : 1;
 }

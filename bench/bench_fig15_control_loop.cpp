@@ -3,11 +3,17 @@
 // and reroutes within milliseconds — fast enough that Flow 1 never sees a
 // loss. Prints both flows' throughput over time with the Detection and
 // Response timestamps marked.
+//
+// Flags: --json <path> for the planck-metrics-v1 report, and
+// --trace <path> to record the run with the telemetry plane and write a
+// Chrome-trace JSON (open at chrome://tracing) — the CI smoke's tracing
+// scenario.
 
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "net/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulation.hpp"
 #include "stats/timeseries.hpp"
 #include "te/planck_te.hpp"
@@ -15,10 +21,19 @@
 
 using namespace planck;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Figure 15", "detection and rerouting of colliding flows");
+  bench::JsonReport report(argc, argv);
+  const std::string trace_path = bench::arg_value(argc, argv, "--trace");
 
   sim::Simulation simulation;
+  obs::Telemetry telemetry;
+  if (!trace_path.empty()) {
+    // Install before the testbed exists so every component registers its
+    // metrics; tracing changes nothing about the run (same digest).
+    simulation.set_telemetry(&telemetry);
+    telemetry.enable_tracing();
+  }
   const net::TopologyGraph graph = net::make_fat_tree_16(
       net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::TestbedConfig cfg;
@@ -107,5 +122,27 @@ int main() {
               static_cast<unsigned long long>(s2.retransmits));
   std::printf("reroutes issued: %llu\n",
               static_cast<unsigned long long>(te.reroutes()));
-  return 0;
+
+  report.add("fig15", simulation.events_executed(),
+             /*wall_seconds=*/0.0, sim::to_seconds(simulation.now()));
+  report.metrics().gauge("fig15", "detect_ms").set(
+      sim::to_milliseconds(detection - t2));
+  report.metrics().gauge("fig15", "detect_to_response_ms").set(
+      sim::to_milliseconds(response - detection));
+  report.metrics().gauge("fig15", "flow1_retransmits").set(
+      static_cast<double>(s1.retransmits));
+  report.metrics().gauge("fig15", "reroutes").set(
+      static_cast<double>(te.reroutes()));
+
+  bool ok = report.write();
+  if (!trace_path.empty()) {
+    if (telemetry.tracer().write_json(trace_path)) {
+      std::printf("trace: %zu events -> %s\n", telemetry.tracer().size(),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n", trace_path.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include "baseline_heap_queue.hpp"
 #include "bench_util.hpp"
 #include "net/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
@@ -172,9 +173,14 @@ double churn_wheel_typed(const std::vector<sim::Duration>& delays,
 
 /// Whole-simulator throughput: 8 concurrent flows across the 16-host
 /// fat-tree testbed (switches, links, collectors, TCP — everything), run
-/// for 50 ms of simulated time.
-double fat_tree_end_to_end(std::uint64_t* events, double* sim_seconds) {
+/// for 50 ms of simulated time. With `telemetry` set, a Telemetry is
+/// installed (metrics registered, tracing off) — the A/B for the
+/// telemetry plane's hot-path cost, which must stay within noise.
+double fat_tree_end_to_end(bool telemetry, std::uint64_t* events,
+                           double* sim_seconds) {
   sim::Simulation simulation;
+  obs::Telemetry tel;
+  if (telemetry) simulation.set_telemetry(&tel);
   const net::TopologyGraph graph = net::make_fat_tree_16(
       net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
   workload::Testbed bed(simulation, graph, workload::TestbedConfig{});
@@ -187,6 +193,7 @@ double fat_tree_end_to_end(std::uint64_t* events, double* sim_seconds) {
   const double wall = seconds_since(t0);
   *events = simulation.events_executed();
   *sim_seconds = static_cast<double>(simulation.now()) / 1e9;
+  simulation.set_telemetry(nullptr);
   return wall;
 }
 
@@ -216,12 +223,26 @@ int main(int argc, char** argv) {
 
   std::uint64_t events = 0;
   double sim_seconds = 0;
-  const double e2e_s = fat_tree_end_to_end(&events, &sim_seconds);
+  const double e2e_s =
+      fat_tree_end_to_end(/*telemetry=*/false, &events, &sim_seconds);
   std::printf("  %-22s %9.0f kevents/s   (%llu events, %.0f ms simulated)\n",
               "fat-tree end-to-end",
               static_cast<double>(events) / e2e_s / 1e3,
               static_cast<unsigned long long>(events), sim_seconds * 1e3);
   report.add("fat_tree_end_to_end", events, e2e_s, sim_seconds);
+
+  // Telemetry A/B: same run with a Telemetry installed (metrics live,
+  // tracing off). The delta vs the row above is the plane's whole cost.
+  std::uint64_t events_tel = 0;
+  double sim_seconds_tel = 0;
+  const double e2e_tel_s =
+      fat_tree_end_to_end(/*telemetry=*/true, &events_tel, &sim_seconds_tel);
+  std::printf("  %-22s %9.0f kevents/s   (%.2fx vs no telemetry)\n",
+              "fat-tree + telemetry",
+              static_cast<double>(events_tel) / e2e_tel_s / 1e3,
+              e2e_s / e2e_tel_s);
+  report.add("fat_tree_end_to_end_telemetry", events_tel, e2e_tel_s,
+             sim_seconds_tel);
 
   return report.write() ? 0 : 1;
 }

@@ -16,11 +16,21 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/units.hpp"
 #include "stats/samples.hpp"
 #include "stats/table.hpp"
 
 namespace planck::bench {
+
+/// Returns the operand following `flag` in argv, or "" when absent
+/// (e.g. arg_value(argc, argv, "--trace") for the trace-output path).
+inline std::string arg_value(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == flag) return argv[i + 1];
+  }
+  return std::string();
+}
 
 inline int runs(int default_runs) {
   if (const char* env = std::getenv("PLANCK_BENCH_RUNS")) {
@@ -48,65 +58,59 @@ inline void header(const char* id, const char* title) {
   std::printf("==============================================================\n");
 }
 
-/// Machine-readable bench output. Benches that support it accept
-/// `--json <path>` and emit one record per measurement with the event
-/// count, wall-clock seconds, simulated seconds, and derived events/sec —
-/// so CI (and scripts) can assert on throughput without scraping stdout.
+/// Machine-readable bench output, backed by an obs::MetricRegistry so
+/// every bench exports the planck-metrics-v1 schema (DESIGN.md §9) —
+/// CI and scripts assert on metrics without scraping stdout. Benches that
+/// support it accept `--json <path>`.
 class JsonReport {
  public:
   /// Parses `--json <path>` out of argv; disabled when the flag is absent.
-  JsonReport(int argc, char** argv) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string_view(argv[i]) == "--json") path_ = argv[i + 1];
-    }
-  }
+  JsonReport(int argc, char** argv) : path_(arg_value(argc, argv, "--json")) {}
 
   bool enabled() const { return !path_.empty(); }
 
-  /// Records one measurement. `sim_seconds` may be 0 for benches with no
-  /// simulated-time dimension (raw data-structure loops).
-  void add(std::string name, std::uint64_t events, double wall_seconds,
+  /// The backing registry, for benches exporting custom metrics.
+  obs::MetricRegistry& metrics() { return registry_; }
+
+  /// Records one throughput measurement as four gauges under `name`.
+  /// `sim_seconds` may be 0 for benches with no simulated-time dimension
+  /// (raw data-structure loops).
+  void add(const std::string& name, std::uint64_t events, double wall_seconds,
            double sim_seconds) {
-    rows_.push_back(Row{std::move(name), events, wall_seconds, sim_seconds});
+    registry_.gauge(name, "events").set(static_cast<double>(events));
+    registry_.gauge(name, "wall_seconds").set(wall_seconds);
+    registry_.gauge(name, "sim_seconds").set(sim_seconds);
+    registry_.gauge(name, "events_per_sec")
+        .set(wall_seconds > 0
+                 ? static_cast<double>(events) / wall_seconds
+                 : 0.0);
+  }
+
+  /// Records the shape of a latency distribution (exact order statistics)
+  /// as gauges under `name`.
+  void add_latency(const std::string& name, const stats::Samples& samples) {
+    registry_.gauge(name, "count")
+        .set(static_cast<double>(samples.size()));
+    if (samples.empty()) return;
+    registry_.gauge(name, "p5_us").set(samples.percentile(5));
+    registry_.gauge(name, "p50_us").set(samples.median());
+    registry_.gauge(name, "p95_us").set(samples.percentile(95));
+    registry_.gauge(name, "p99_us").set(samples.percentile(99));
   }
 
   /// Writes the report (no-op unless enabled). Returns false on I/O error.
   bool write() const {
     if (!enabled()) return true;
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
+    if (!registry_.write_json(path_)) {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"results\": [\n");
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const Row& r = rows_[i];
-      const double rate =
-          r.wall_seconds > 0 ? static_cast<double>(r.events) / r.wall_seconds
-                             : 0.0;
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"events\": %llu, "
-                   "\"wall_seconds\": %.6f, \"sim_seconds\": %.6f, "
-                   "\"events_per_sec\": %.1f}%s\n",
-                   r.name.c_str(),
-                   static_cast<unsigned long long>(r.events), r.wall_seconds,
-                   r.sim_seconds, rate, i + 1 < rows_.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
     return true;
   }
 
  private:
-  struct Row {
-    std::string name;
-    std::uint64_t events;
-    double wall_seconds;
-    double sim_seconds;
-  };
-
   std::string path_;
-  std::vector<Row> rows_;
+  obs::MetricRegistry registry_;
 };
 
 /// Prints a CDF as (value, fraction) rows, downsampled to ~`points`.

@@ -3,7 +3,26 @@
 #include <memory>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace planck::controller {
+
+void ControlChannel::register_metrics() {
+  obs::Telemetry* telemetry = sim_.telemetry();
+  if (telemetry == nullptr) return;
+  obs::MetricRegistry& reg = telemetry->metrics();
+  // One channel per controller in practice; were several constructed on
+  // one simulation, the last one's gauges win (registration replaces the
+  // callback, deterministically — construction order is program order).
+  reg.gauge("control_channel", "rpc_calls",
+            [this] { return static_cast<double>(rpc_calls_); });
+  reg.gauge("control_channel", "rpc_retries",
+            [this] { return static_cast<double>(rpc_retries_); });
+  reg.gauge("control_channel", "rpc_failures",
+            [this] { return static_cast<double>(rpc_failures_); });
+  reg.gauge("control_channel", "messages_lost",
+            [this] { return static_cast<double>(messages_lost_); });
+}
 
 struct ControlChannel::RpcState {
   std::function<bool()> request;
@@ -58,7 +77,11 @@ void ControlChannel::attempt(std::shared_ptr<RpcState> state,
     if (state->on_result) state->on_result(false);
     return;
   }
-  if (attempt_number > 1) ++rpc_retries_;
+  if (attempt_number > 1) {
+    ++rpc_retries_;
+    PLANCK_TRACE_ARGS(sim_, "control_channel", "rpc_retry",
+                      obs::argf("\"attempt\":%d", attempt_number));
+  }
 
   // Request leg.
   ++messages_sent_;

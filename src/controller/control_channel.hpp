@@ -52,7 +52,9 @@ class ControlChannel {
  public:
   ControlChannel(sim::Simulation& simulation,
                  const ControlChannelConfig& config)
-      : sim_(simulation), config_(config), rng_(config.seed) {}
+      : sim_(simulation), config_(config), rng_(config.seed) {
+    register_metrics();
+  }
 
   ControlChannel(const ControlChannel&) = delete;
   ControlChannel& operator=(const ControlChannel&) = delete;
@@ -81,6 +83,9 @@ class ControlChannel {
  private:
   struct RpcState;
 
+  /// Registers this channel's gauges with the telemetry plane, if one is
+  /// installed on the simulation (DESIGN.md §9).
+  void register_metrics();
   void attempt(std::shared_ptr<RpcState> state, int attempt_number);
   /// 0 (lost), 1, or 2 (duplicated) deliveries for one message.
   int deliveries();

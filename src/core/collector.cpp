@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace planck::core {
 
 Collector::Collector(sim::Simulation& simulation, std::string name,
@@ -13,12 +15,37 @@ Collector::Collector(sim::Simulation& simulation, std::string name,
       config_(config),
       flows_(config.estimator),
       sweep_timer_(simulation, [this] { sweep(); }) {
+  register_metrics();
   sweep_timer_.schedule(config_.sweep_interval);
+}
+
+void Collector::register_metrics() {
+  obs::Telemetry* telemetry = sim_.telemetry();
+  if (telemetry == nullptr) return;
+  obs::MetricRegistry& reg = telemetry->metrics();
+  const std::string comp = "collector." + name_;
+  reg.gauge(comp, "samples_received",
+            [this] { return static_cast<double>(samples_received_); });
+  reg.gauge(comp, "samples_per_sec", [this] {
+    const double elapsed = sim::to_seconds(sim_.now());
+    return elapsed > 0.0 ? static_cast<double>(samples_received_) / elapsed
+                         : 0.0;
+  });
+  reg.gauge(comp, "events_fired",
+            [this] { return static_cast<double>(events_fired_); });
+  reg.gauge(comp, "inference_misses",
+            [this] { return static_cast<double>(inference_misses_); });
+  reg.gauge(comp, "samples_dropped_offline",
+            [this] { return static_cast<double>(samples_dropped_offline_); });
+  reg.gauge(comp, "flow_table_size",
+            [this] { return static_cast<double>(flows_.size()); });
+  evictions_metric_ = &reg.counter(comp, "evictions");
 }
 
 void Collector::set_online(bool online) {
   if (online_ == online) return;
   online_ = online;
+  PLANCK_TRACE(sim_, "collector." + name_, online ? "online" : "offline");
   if (!online) {
     ++outages_;
     sweep_timer_.cancel();  // the process is dead; housekeeping stops too
@@ -27,6 +54,23 @@ void Collector::set_online(bool online) {
     // answering queries again, then resume the periodic sweep.
     sweep();
   }
+}
+
+void Collector::set_contribution(FlowRecord& rec, double rate) {
+  PortUtil& util = util_bps_[rec.out_port];
+  if (rec.contributing_bps == 0.0 && rate != 0.0) ++util.flows;
+  util.bps += rate - rec.contributing_bps;
+  rec.contributing_bps = rate;
+}
+
+void Collector::release_contribution(int out_port, double bps) {
+  if (bps <= 0.0 || out_port < 0) return;
+  const auto it = util_bps_.find(out_port);
+  if (it == util_bps_.end()) return;
+  PortUtil& util = it->second;
+  util.bps -= bps;
+  if (util.flows > 0) --util.flows;
+  if (util.flows == 0) util.bps = 0.0;  // no contributors: no FP dust
 }
 
 void Collector::handle_packet(const net::Packet& packet, int /*in_port*/) {
@@ -55,12 +99,11 @@ void Collector::handle_packet(const net::Packet& packet, int /*in_port*/) {
   if (out < 0) ++inference_misses_;
   rec.in_port = in;
   if (out != rec.out_port) {
-    // The flow moved to a different link (reroute): migrate its
-    // utilization contribution.
-    if (rec.contributing_bps > 0.0 && rec.out_port >= 0) {
-      util_bps_[rec.out_port] -= rec.contributing_bps;
-      rec.contributing_bps = 0.0;
-    }
+    // The flow moved to a different link (reroute / dst_mac tree change):
+    // fully unwind its contribution from the old port before it starts
+    // contributing to the new one.
+    release_contribution(rec.out_port, rec.contributing_bps);
+    rec.contributing_bps = 0.0;
     rec.out_port = out;
   }
 
@@ -68,9 +111,7 @@ void Collector::handle_packet(const net::Packet& packet, int /*in_port*/) {
 
   if (rec.estimator.add_sample(sim_.now(), packet.seq, packet.payload) &&
       rec.out_port >= 0) {
-    const double rate = rec.estimator.rate_bps();
-    util_bps_[rec.out_port] += rate - rec.contributing_bps;
-    rec.contributing_bps = rate;
+    set_contribution(rec, rec.estimator.rate_bps());
     maybe_fire_event(rec.out_port);
   }
 }
@@ -78,7 +119,7 @@ void Collector::handle_packet(const net::Packet& packet, int /*in_port*/) {
 double Collector::link_utilization_bps(int out_port) const {
   if (!online_) return 0.0;
   const auto it = util_bps_.find(out_port);
-  return it == util_bps_.end() ? 0.0 : std::max(0.0, it->second);
+  return it == util_bps_.end() ? 0.0 : std::max(0.0, it->second.bps);
 }
 
 std::vector<FlowRate> Collector::flows_on_link(int out_port) const {
@@ -117,6 +158,10 @@ void Collector::maybe_fire_event(int out_port) {
   event.detected_at = sim_.now();
   event.flows = flows_on_link(out_port);
   ++events_fired_;
+  PLANCK_TRACE_ARGS(sim_, "collector." + name_, "congestion",
+                    obs::argf("\"out_port\":%d,\"util_gbps\":%.3f,"
+                              "\"flows\":%zu",
+                              out_port, util / 1e9, event.flows.size()));
   for (const auto& handler : congestion_handlers_) handler(event);
 }
 
@@ -137,17 +182,36 @@ void Collector::sweep() {
     FlowRecord& rec = *flows_.find(key);
     if (rec.contributing_bps > 0.0 &&
         now - rec.estimator.estimated_at() > config_.rate_staleness) {
-      if (rec.out_port >= 0) util_bps_[rec.out_port] -= rec.contributing_bps;
+      release_contribution(rec.out_port, rec.contributing_bps);
       rec.contributing_bps = 0.0;
     }
   }
 
   // Evict idle flows entirely (evict_idle returns records in key order).
+  // Every record's residual contribution is unwound, so a port whose
+  // flows have all left reads exactly 0.0 again (see PortUtil).
+  std::uint64_t evicted = 0;
   for (const FlowRecord& rec :
        flows_.evict_idle(now - config_.flow_idle_timeout)) {
-    if (rec.contributing_bps > 0.0 && rec.out_port >= 0) {
-      util_bps_[rec.out_port] -= rec.contributing_bps;
-    }
+    release_contribution(rec.out_port, rec.contributing_bps);
+    ++evicted;
+  }
+  if (evicted > 0) {
+    evictions_ += evicted;
+    PLANCK_METRIC(evictions_metric_, add(evicted));
+    PLANCK_TRACE_ARGS(sim_, "collector." + name_, "evictions",
+                      obs::argf("\"count\":%llu",
+                                static_cast<unsigned long long>(evicted)));
+  }
+
+  // Per-sweep counter tracks, emitted only while the sample stream is
+  // active so an idle network adds nothing to the trace.
+  if (samples_received_ != samples_traced_) {
+    samples_traced_ = samples_received_;
+    PLANCK_TRACE_COUNTER(sim_, "collector." + name_, "samples_received",
+                         samples_received_);
+    PLANCK_TRACE_COUNTER(sim_, "collector." + name_, "flow_table_size",
+                         flows_.size());
   }
 
   sweep_timer_.schedule(config_.sweep_interval);

@@ -15,6 +15,10 @@
 #include "sim/simulation.hpp"
 #include "sim/timer.hpp"
 
+namespace planck::obs {
+class Counter;
+}  // namespace planck::obs
+
 namespace planck::core {
 
 /// A timestamped sample held in the collector's ring buffer (vantage-point
@@ -138,13 +142,35 @@ class Collector : public net::Node {
     return samples_dropped_offline_;
   }
   std::uint64_t outages() const { return outages_; }
+  /// Flow records removed by the idle-timeout sweep.
+  std::uint64_t evictions() const { return evictions_; }
 
   const CollectorConfig& config() const { return config_; }
 
  private:
+  /// Per-port utilization aggregate. `flows` counts the records currently
+  /// contributing a nonzero rate; when it returns to zero, `bps` is
+  /// snapped to exactly 0.0 — incremental FP add/subtract is not
+  /// associative, so without the snap a fully unwound port would keep a
+  /// few ULPs of dust and never read as idle again.
+  struct PortUtil {
+    double bps = 0.0;
+    std::uint32_t flows = 0;
+  };
+
   void on_rate_update(FlowRecord& rec, double old_rate);
   void maybe_fire_event(int out_port);
   void sweep();
+  /// Registers this collector's metrics with the telemetry plane, if one
+  /// is installed on the simulation (DESIGN.md §9).
+  void register_metrics();
+  /// Replaces `rec`'s utilization contribution with `rate`, keeping the
+  /// per-port aggregate and contributor count consistent.
+  void set_contribution(FlowRecord& rec, double rate);
+  /// Unwinds a contribution of `bps` from `out_port` (stale purge, idle
+  /// eviction, or reroute migration). Snaps the aggregate to exactly zero
+  /// when the last contributor leaves.
+  void release_contribution(int out_port, double bps);
 
   sim::Simulation& sim_;
   std::string name_;
@@ -156,7 +182,7 @@ class Collector : public net::Node {
 
   // Incrementally maintained: sum of fresh flow-rate estimates per output
   // port. The sweep removes stale contributions.
-  std::unordered_map<int, double> util_bps_;
+  std::unordered_map<int, PortUtil> util_bps_;
   std::unordered_map<int, std::int64_t> link_capacity_;
   std::unordered_map<int, sim::Time> last_event_;
 
@@ -169,8 +195,13 @@ class Collector : public net::Node {
   std::uint64_t inference_misses_ = 0;
   std::uint64_t samples_dropped_offline_ = 0;
   std::uint64_t outages_ = 0;
+  std::uint64_t evictions_ = 0;
   bool online_ = true;
   sim::Time last_sample_at_ = 0;
+
+  obs::Counter* evictions_metric_ = nullptr;  // owned by the registry
+  std::uint64_t samples_traced_ = 0;  // last samples_received_ put on a
+                                      // trace counter track
 
   sim::Timer sweep_timer_;
 };

@@ -5,6 +5,7 @@
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "obs/obs.hpp"
 #include "sim/contract.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
@@ -58,6 +59,8 @@ class Link {
     if (admin_up_ == up) return;
     admin_up_ = up;
     if (!up) ++epoch_;  // invalidates the deliveries already scheduled
+    PLANCK_TRACE_ARGS(sim_, "link", up ? "admin_up" : "admin_down",
+                      obs::argf("\"dst_port\":%d", dst_port_));
   }
   bool admin_up() const { return admin_up_; }
 
@@ -89,6 +92,10 @@ class Link {
       // Dead wire: the transmitter's line timing is unchanged but the frame
       // goes nowhere.
       ++down_drops_;
+      PLANCK_TRACE_ARGS(
+          sim_, "link", "down_drop",
+          obs::argf("\"bytes\":%lld",
+                    static_cast<long long>(packet.wire_bytes().count())));
       return free_at_;
     }
     sim_.schedule_packet(ser + propagation_, this, epoch_, &Link::deliver,
@@ -134,6 +141,10 @@ class Link {
       ++link->down_drops_;  // link went down while the frame was in flight
       link->bytes_lost_ += packet.wire_bytes();
       link->check_conservation();
+      PLANCK_TRACE_ARGS(
+          link->sim_, "link", "inflight_drop",
+          obs::argf("\"bytes\":%lld",
+                    static_cast<long long>(packet.wire_bytes().count())));
       return;
     }
     link->bytes_delivered_ += packet.wire_bytes();

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace planck::obs {
+
+/// Builds a JSON-object body for a trace event's "args" field, e.g.
+/// argf("\"port\":%d,\"bytes\":%lld", port, bytes). The caller supplies
+/// valid JSON key/value syntax; the result is spliced verbatim.
+std::string argf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Sim-time-stamped event recorder that serializes to the Chrome trace
+/// event format (load the file at chrome://tracing or ui.perfetto.dev).
+///
+/// Every timestamp is a sim::Time handed in by the caller — the tracer
+/// never consults a clock — and events are appended in execution order,
+/// so same-seed runs serialize byte-identically. Components map to trace
+/// "threads": the first event from a component allocates the next tid and
+/// a thread_name metadata record, and execution order is deterministic,
+/// so tid assignment is too.
+///
+/// Event kinds used here: "I" (instant, a point occurrence like a drop or
+/// reroute), "C" (counter, a stepped time series), "X" (complete, a span
+/// with a duration).
+class Tracer {
+ public:
+  /// A point event, e.g. a drop, a congestion detection, a reroute.
+  void instant(sim::Time t, std::string_view component, std::string_view name,
+               std::string args = std::string());
+
+  /// One point of a stepped time series rendered as a counter track.
+  void counter(sim::Time t, std::string_view component, std::string_view name,
+               double value);
+
+  /// A span [t, t+dur), e.g. a whole simulation run.
+  void complete(sim::Time t, sim::Duration dur, std::string_view component,
+                std::string_view name, std::string args = std::string());
+
+  std::size_t size() const { return events_.size(); }
+  void clear();
+
+  /// Full Chrome trace JSON document. Deterministic: depends only on the
+  /// recorded events, which depend only on sim execution order.
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;            // 'I', 'C' or 'X'
+    sim::Time ts;       // nanoseconds of sim time
+    sim::Duration dur;  // 'X' only
+    std::size_t tid;
+    std::string name;
+    std::string args;  // JSON object body, may be empty
+  };
+
+  std::size_t tid_for(std::string_view component);
+
+  std::vector<Event> events_;
+  std::vector<std::string> components_;  // index == tid
+};
+
+}  // namespace planck::obs

@@ -1,6 +1,17 @@
 #include "sim/simulation.hpp"
 
+#include "obs/obs.hpp"
+
 namespace planck::sim {
+
+void Simulation::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().gauge("sim", "events_executed", [this] {
+      return static_cast<double>(events_executed_);
+    });
+  }
+}
 
 void Simulation::run() {
   stopped_ = false;
@@ -12,6 +23,7 @@ void Simulation::run() {
     fold_digest();
     queue_.run_top();
   }
+  PLANCK_TRACE_COUNTER(*this, "sim", "events_executed", events_executed_);
 }
 
 bool Simulation::run_until(Time deadline) {
@@ -25,6 +37,7 @@ bool Simulation::run_until(Time deadline) {
     queue_.run_top();
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
+  PLANCK_TRACE_COUNTER(*this, "sim", "events_executed", events_executed_);
   return !queue_.empty();
 }
 

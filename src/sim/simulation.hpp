@@ -6,6 +6,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace planck::obs {
+class Telemetry;
+}  // namespace planck::obs
+
 namespace planck::sim {
 
 /// Discrete-event simulation driver. Owns the event queue and the clock.
@@ -86,6 +90,15 @@ class Simulation {
 
   bool pending() const { return !queue_.empty(); }
 
+  /// Installs the telemetry plane (DESIGN.md §9). Not owned; must outlive
+  /// the simulation (or be detached with set_telemetry(nullptr)). Install
+  /// before constructing components — they register their metrics in
+  /// their constructors. Telemetry is read-only with respect to the
+  /// schedule, so determinism_digest() is unchanged by installing it or
+  /// by toggling tracing.
+  void set_telemetry(obs::Telemetry* telemetry);
+  obs::Telemetry* telemetry() const { return telemetry_; }
+
  private:
   void fold_digest() {
     digest_ = (digest_ ^ static_cast<std::uint64_t>(now_)) * kFnvPrime;
@@ -100,6 +113,7 @@ class Simulation {
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
   std::uint64_t digest_ = kFnvOffset;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace planck::sim

@@ -10,10 +10,17 @@ namespace planck::stats {
 
 /// Fixed-width histogram over [lo, hi). Values outside the range land in
 /// saturating under/overflow buckets.
+///
+/// Degenerate shapes are clamped rather than left to corrupt `add()`:
+/// `buckets == 0` becomes one bucket, and `hi <= lo` becomes the unit
+/// range [lo, lo + 1). The clamp (instead of an assert) keeps behavior
+/// identical across Debug/Release/sanitizer builds.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+      : lo_(lo),
+        hi_(hi > lo ? hi : lo + 1.0),
+        counts_(buckets > 0 ? buckets : 1, 0) {}
 
   void add(double x) {
     ++total_;
@@ -42,11 +49,19 @@ class Histogram {
   }
   double bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
 
-  /// Fraction of in-range samples at or below the upper edge of bucket i.
+  /// Fraction of *all* recorded samples (tails included) at or below the
+  /// upper edge of bucket i. The underflow tail lies below every bucket so
+  /// it is always counted; the overflow tail lies above every bucket and
+  /// is folded into the last one, so the CDF ends at exactly 1.0 whenever
+  /// total() > 0 — previously overflow inflated only the denominator and
+  /// the CDF was skewed low, never reaching 1.0.
   double cumulative_fraction(std::size_t i) const {
     if (total_ == 0) return 0.0;
     std::uint64_t cum = underflow_;
-    for (std::size_t j = 0; j <= i; ++j) cum += counts_[j];
+    for (std::size_t j = 0; j <= i && j < counts_.size(); ++j) {
+      cum += counts_[j];
+    }
+    if (i + 1 >= counts_.size()) cum += overflow_;
     return static_cast<double>(cum) / static_cast<double>(total_);
   }
 

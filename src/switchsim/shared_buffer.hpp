@@ -40,6 +40,7 @@ class SharedBuffer {
   SharedBuffer(const BufferConfig& config, int num_ports)
       : config_(config),
         queue_bytes_(static_cast<std::size_t>(num_ports)),
+        queue_hwm_(static_cast<std::size_t>(num_ports)),
         port_cap_(static_cast<std::size_t>(num_ports), kNoCap) {
     shared_total_ =
         config.total_bytes -
@@ -74,8 +75,11 @@ class SharedBuffer {
                               static_cast<double>(shared_free.count()),
                       "DT admits only below the alpha threshold");
       shared_used_ += delta;
+      if (shared_used_ > shared_used_hwm_) shared_used_hwm_ = shared_used_;
     }
     q += size;
+    auto& hwm = queue_hwm_[static_cast<std::size_t>(port)];
+    if (q > hwm) hwm = q;
     check_conservation();
     return true;
   }
@@ -96,6 +100,12 @@ class SharedBuffer {
   }
   sim::Bytes shared_used() const { return shared_used_; }
   sim::Bytes shared_total() const { return shared_total_; }
+  /// High-water marks since construction (telemetry, DESIGN.md §9): peak
+  /// shared-pool occupancy and peak per-port queue depth.
+  sim::Bytes shared_used_hwm() const { return shared_used_hwm_; }
+  sim::Bytes queue_hwm(int port) const {
+    return queue_hwm_[static_cast<std::size_t>(port)];
+  }
   /// Total occupancy across every port (reserved + shared parts).
   sim::Bytes total_used() const {
     sim::Bytes total{0};
@@ -143,7 +153,9 @@ class SharedBuffer {
   BufferConfig config_;
   sim::Bytes shared_total_{0};
   sim::Bytes shared_used_{0};
+  sim::Bytes shared_used_hwm_{0};
   std::vector<sim::Bytes> queue_bytes_;
+  std::vector<sim::Bytes> queue_hwm_;
   std::vector<sim::Bytes> port_cap_;
 };
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace planck::switchsim {
 
 Switch::Switch(sim::Simulation& simulation, std::string name, int num_ports,
@@ -12,7 +14,36 @@ Switch::Switch(sim::Simulation& simulation, std::string name, int num_ports,
       config_(config),
       buffer_(config.buffer, num_ports),
       ports_(static_cast<std::size_t>(num_ports)),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  register_metrics();
+}
+
+void Switch::register_metrics() {
+  obs::Telemetry* telemetry = sim_.telemetry();
+  if (telemetry == nullptr) return;
+  obs::MetricRegistry& reg = telemetry->metrics();
+  const std::string comp = "switch." + name_;
+  reg.gauge(comp, "mirror_drops",
+            [this] { return static_cast<double>(mirror_drops_); });
+  reg.gauge(comp, "mirror_sent",
+            [this] { return static_cast<double>(mirror_sent_); });
+  reg.gauge(comp, "no_route_drops",
+            [this] { return static_cast<double>(no_route_drops_); });
+  reg.gauge(comp, "fault_drops",
+            [this] { return static_cast<double>(fault_drops_); });
+  reg.gauge(comp, "buffer_shared_hwm_bytes", [this] {
+    return static_cast<double>(buffer_.shared_used_hwm().count());
+  });
+  for (int port = 0; port < num_ports(); ++port) {
+    const std::string prefix = "port" + std::to_string(port);
+    reg.gauge(comp, prefix + ".drops", [this, port] {
+      return static_cast<double>(counters(port).drops.count());
+    });
+    reg.gauge(comp, prefix + ".queue_hwm_bytes", [this, port] {
+      return static_cast<double>(buffer_.queue_hwm(port).count());
+    });
+  }
+}
 
 void Switch::attach_link(int port, net::Link* link) {
   assert(port >= 0 && port < num_ports());
@@ -24,6 +55,8 @@ void Switch::set_port_admin(int port, bool up) {
   Port& p = ports_[static_cast<std::size_t>(port)];
   if (p.admin_up == up) return;
   p.admin_up = up;
+  PLANCK_TRACE_ARGS(sim_, "switch." + name_, up ? "port_up" : "port_down",
+                    obs::argf("\"port\":%d", port));
   if (p.link != nullptr) p.link->set_admin_up(up);
   if (!up) flush_queue(port);
   if (port_status_handler_ && online_) port_status_handler_(port, up);
@@ -32,6 +65,7 @@ void Switch::set_port_admin(int port, bool up) {
 void Switch::set_online(bool online) {
   if (online_ == online) return;
   online_ = online;
+  PLANCK_TRACE(sim_, "switch." + name_, online ? "online" : "offline");
   if (!online) {
     for (int port = 0; port < num_ports(); ++port) flush_queue(port);
   }
@@ -158,7 +192,16 @@ void Switch::enqueue(int port, const net::Packet& packet, bool is_mirror) {
   if (!buffer_.admit(port, packet.frame_bytes())) {
     ++p.counters.drops;
     p.counters.drop_bytes += packet.frame_bytes();
-    if (is_mirror) ++mirror_drops_;
+    if (is_mirror) {
+      // Mirror-replica drops ARE the sampler (§3.1): far too frequent to
+      // trace per event; visible as the mirror_drops gauge instead.
+      ++mirror_drops_;
+    } else {
+      PLANCK_TRACE_ARGS(
+          sim_, "switch." + name_, "tail_drop",
+          obs::argf("\"port\":%d,\"queue_bytes\":%lld", port,
+                    static_cast<long long>(buffer_.queue_bytes(port).count())));
+    }
     return;
   }
   if (is_mirror) ++mirror_sent_;

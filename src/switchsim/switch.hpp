@@ -178,6 +178,10 @@ class Switch : public net::Node {
   /// Resolves the output port and applies rewrites. Returns -1 on miss.
   int route(net::Packet& packet);
 
+  /// Registers this switch's gauges with the telemetry plane, if one is
+  /// installed on the simulation (DESIGN.md §9).
+  void register_metrics();
+
   void enqueue(int port, const net::Packet& packet, bool is_mirror);
   void flush_queue(int port);
   void start_tx(int port);

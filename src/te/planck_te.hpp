@@ -7,6 +7,10 @@
 #include "sim/simulation.hpp"
 #include "te/te_state.hpp"
 
+namespace planck::obs {
+class Histogram;
+}  // namespace planck::obs
+
 namespace planck::te {
 
 struct PlanckTeConfig {
@@ -48,6 +52,9 @@ class PlanckTe {
   const TeState& state() const { return state_; }
 
  private:
+  /// Registers this application's metrics with the telemetry plane, if
+  /// one is installed on the simulation (DESIGN.md §9).
+  void register_metrics();
   /// Algorithm 1: greedy_route_flow. With `failover` set the flow's
   /// current path is known-dead: the cooldown is waived (correctness beats
   /// flap damping) and staying put is not an option.
@@ -65,6 +72,10 @@ class PlanckTe {
   std::uint64_t events_processed_ = 0;
   std::uint64_t reroutes_ = 0;
   std::uint64_t failovers_ = 0;
+
+  /// Detection-to-reroute latency distribution (owned by the registry):
+  /// congestion detected_at to reroute_flow issue, in microseconds.
+  obs::Histogram* reroute_latency_metric_ = nullptr;
 };
 
 }  // namespace planck::te

@@ -137,6 +137,36 @@ TEST(Collector, IdleFlowsEvicted) {
   EXPECT_EQ(f.collector.flow_table().size(), 0u);
 }
 
+TEST(Collector, EvictionReleasesEveryContribution) {
+  // Regression for the contributing_bps unwind: every record returned by
+  // FlowTable::evict_idle must be subtracted from its port aggregate, and
+  // once the last contributor leaves, the aggregate must read exactly 0.0
+  // — not FP dust from the add/subtract round trips.
+  CollectorConfig cfg;
+  cfg.flow_idle_timeout = sim::milliseconds(10);
+  Fixture f(cfg);
+  f.feed(6e9, sim::milliseconds(2));
+  EXPECT_GT(f.collector.link_utilization_bps(1), 1e9);
+  EXPECT_EQ(f.collector.evictions(), 0u);
+  f.sim.run_until(f.sim.now() + sim::milliseconds(50));
+  EXPECT_EQ(f.collector.flow_table().size(), 0u);
+  EXPECT_GT(f.collector.evictions(), 0u);
+  EXPECT_EQ(f.collector.link_utilization_bps(1), 0.0);
+}
+
+TEST(Collector, TreeChangeLeavesNoResidualUtilization) {
+  Fixture f;
+  f.feed(6e9, sim::milliseconds(2), /*tree=*/0);
+  EXPECT_GT(f.collector.link_utilization_bps(1), 4e9);
+  // The dst MAC moves to shadow tree 2 (out port 3): the old port's
+  // aggregate must return to exactly zero the moment the flow migrates,
+  // without waiting for the staleness sweep.
+  f.seqs_[2] = f.seqs_[0];
+  f.feed(6e9, sim::milliseconds(2), /*tree=*/2);
+  EXPECT_EQ(f.collector.link_utilization_bps(1), 0.0);
+  EXPECT_GT(f.collector.link_utilization_bps(3), 4e9);
+}
+
 TEST(Collector, UtilizationMovesWithReroute) {
   Fixture f;
   f.feed(6e9, sim::milliseconds(2), /*tree=*/0);

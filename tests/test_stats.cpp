@@ -164,6 +164,52 @@ TEST(Histogram, CumulativeFraction) {
   EXPECT_DOUBLE_EQ(h.cumulative_fraction(3), 1.0);
 }
 
+TEST(Histogram, CumulativeFractionIncludesBothTails) {
+  // Regression: the numerator used to add underflow_ but never overflow_,
+  // while the denominator (total_) counts both — so with any overflow the
+  // CDF sat below 1.0 forever and every fraction was skewed low.
+  Histogram h(0.0, 4.0, 4);
+  h.add(-1.0);  // underflow
+  h.add(0.5);
+  h.add(2.5);
+  h.add(10.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.5);   // underflow + bucket 0
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(2), 0.75);  // overflow not yet in
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(3), 1.0);   // last bucket: all of it
+}
+
+TEST(Histogram, CumulativeFractionMonotoneWithTails) {
+  Histogram h(0.0, 10.0, 5);
+  for (double v : {-3.0, -1.0, 0.5, 2.5, 4.5, 6.5, 8.5, 11.0, 12.0, 99.0}) {
+    h.add(v);
+  }
+  double prev = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GE(h.cumulative_fraction(i), prev);
+    prev = h.cumulative_fraction(i);
+  }
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(4), 1.0);
+}
+
+TEST(Histogram, DegenerateShapesClamped) {
+  // Zero buckets would divide by zero in the bucket-width math; hi <= lo
+  // would index out of range. Both clamp to a one-unit single-bucket range.
+  Histogram zero_buckets(0.0, 10.0, 0);
+  zero_buckets.add(5.0);
+  EXPECT_EQ(zero_buckets.buckets(), 1u);
+  EXPECT_EQ(zero_buckets.total(), 1u);
+  EXPECT_DOUBLE_EQ(zero_buckets.cumulative_fraction(0), 1.0);
+
+  Histogram inverted(5.0, 5.0, 4);  // hi <= lo: range becomes [5, 6)
+  inverted.add(5.5);
+  inverted.add(7.0);
+  EXPECT_DOUBLE_EQ(inverted.bucket_lo(0), 5.0);
+  EXPECT_DOUBLE_EQ(inverted.bucket_hi(3), 6.0);
+  EXPECT_EQ(inverted.underflow(), 0u);
+  EXPECT_EQ(inverted.overflow(), 1u);
+  EXPECT_EQ(inverted.total(), 2u);
+}
+
 TEST(TimeSeries, StepInterpolation) {
   TimeSeries ts;
   ts.add(10, 1.0);

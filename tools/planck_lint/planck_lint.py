@@ -26,6 +26,13 @@ mechanically (see DESIGN.md section 7 for the catalogue and rationale):
                        overflow int32 after ~2.1 s of simulated time.
   raw-cast             reinterpret_cast / const_cast anywhere; every site
                        must be audited and carry a suppression.
+  trace-wall-clock     a wall-clock expression inside a PLANCK_TRACE /
+                       PLANCK_TRACE_ARGS / PLANCK_TRACE_COUNTER argument
+                       list: trace timestamps and payloads must derive from
+                       sim time only, or same-seed traces stop being
+                       byte-identical. No path exemptions — unlike
+                       wall-clock, this fires in bench/ too (benches may
+                       time themselves, but never feed that into a trace).
 
 Dimensional-units checks (scoped to src/net/, src/switchsim/, src/tcp/,
 src/te/, src/workload/ — the trees migrated to sim/units.hpp):
@@ -87,6 +94,7 @@ ALL_CHECKS = [
     "pointer-key",
     "time-unit",
     "raw-cast",
+    "trace-wall-clock",
     "raw-unit-field",
     "unit-mixing",
     "unpaired-enqueue",
@@ -633,6 +641,39 @@ def check_raw_cast(sf, findings):
 
 
 # --------------------------------------------------------------------------
+# Check: trace-wall-clock
+# --------------------------------------------------------------------------
+
+TRACE_CALL_RE = re.compile(r"\bPLANCK_TRACE(?:_ARGS|_COUNTER)?\s*\(")
+
+
+def check_trace_wall_clock(sf, findings):
+    """Scans every PLANCK_TRACE* argument list for the wall-clock sources
+    banned by the wall-clock check. Deliberately has no PATH_EXEMPTIONS:
+    bench/ may use steady_clock to time itself, but a trace event fed from
+    one would differ between same-seed runs, breaking the byte-identical
+    trace guarantee (DESIGN.md section 9)."""
+    for m in TRACE_CALL_RE.finditer(sf.code):
+        open_idx = m.end() - 1
+        close = match_paren(sf.code, open_idx)
+        if close < 0:
+            continue
+        macro = sf.code[m.start():open_idx].strip()
+        args = sf.code[open_idx + 1:close]
+        for pattern, _why in WALL_CLOCK_PATTERNS:
+            hit = pattern.search(args)
+            if hit:
+                lineno = line_of(sf.code, m.start())
+                findings.append(Finding(
+                    sf.path, lineno, "trace-wall-clock",
+                    f"'{hit.group(0).strip()}' inside a {macro}() argument "
+                    f"list: trace events must be computed from sim time "
+                    f"only, or same-seed traces diverge (no exemptions — "
+                    f"this fires in bench/ too)"))
+                break
+
+
+# --------------------------------------------------------------------------
 # Check: raw-unit-field
 # --------------------------------------------------------------------------
 
@@ -803,6 +844,7 @@ def run_checks(root, paths, checks):
         "pointer-key": check_pointer_key,
         "time-unit": check_time_unit,
         "raw-cast": check_raw_cast,
+        "trace-wall-clock": check_trace_wall_clock,
         "raw-unit-field": check_raw_unit_field,
         "unit-mixing": check_unit_mixing,
     }

@@ -41,6 +41,21 @@ struct CleanPatterns {
   }
 };
 
+// Trace events computed purely from sim state must NOT trip
+// trace-wall-clock; neither must the macro definitions themselves.
+#define PLANCK_TRACE(sim_expr, component, name) ((void)0)
+#define PLANCK_TRACE_COUNTER(sim_expr, component, name, value_expr) ((void)0)
+
+struct TracedClean {
+  CleanSim sim_;
+  long events_ = 0;
+
+  void traced_from_sim_time() {
+    PLANCK_TRACE(sim_, "switch.s0", "port_down");
+    PLANCK_TRACE_COUNTER(sim_, "sim", "events_executed", events_);
+  }
+};
+
 // 1'000'000-style digit separators must not confuse the string stripper:
 // if they did, everything between two separators would be blanked and the
 // declarations below would vanish from the unordered registry.

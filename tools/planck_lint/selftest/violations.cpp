@@ -32,6 +32,16 @@ long wall_clock_sources() {
   return stamp + noise + static_cast<long>(entropy());
 }
 
+// --- trace-wall-clock ----------------------------------------------------
+
+#define PLANCK_TRACE_ARGS(sim_expr, component, name, args_expr) ((void)0)
+#define PLANCK_TRACE_COUNTER(sim_expr, component, name, value_expr) ((void)0)
+
+void traced_wall_clock(Sim& sim) {
+  PLANCK_TRACE_ARGS(sim, "bench", "lap", argf("\"t\":%ld", time(nullptr)));  // EXPECT-LINT: wall-clock, trace-wall-clock
+  PLANCK_TRACE_COUNTER(sim, "bench", "noise", std::rand());                  // EXPECT-LINT: wall-clock, trace-wall-clock
+}
+
 // --- unordered-iteration -------------------------------------------------
 
 struct Taint {
