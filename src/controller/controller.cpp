@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 #include <vector>
+
+#include "obs/obs.hpp"
+#include "sim/contract.hpp"
 
 namespace planck::controller {
 
@@ -16,8 +20,41 @@ Controller::Controller(sim::Simulation& simulation,
       routing_(graph),
       rng_(config.seed),
       channel_(simulation, config.channel),
-      heartbeat_timer_(simulation, [this] { probe_switches(); }) {
+      heartbeat_timer_(simulation, [this] { probe_switches(); }),
+      epochs_(simulation) {
   hosts_.resize(static_cast<std::size_t>(graph.num_hosts()), nullptr);
+  register_metrics();
+}
+
+void Controller::register_metrics() {
+  obs::Telemetry* telemetry = sim_.telemetry();
+  if (telemetry == nullptr) return;
+  obs::MetricRegistry& reg = telemetry->metrics();
+  const std::string comp = "controller";
+  reg.gauge(comp, "epochs_opened",
+            [this] { return static_cast<double>(epochs_.opened()); });
+  reg.gauge(comp, "epochs_committed",
+            [this] { return static_cast<double>(epochs_.committed()); });
+  reg.gauge(comp, "epoch_fallbacks",
+            [this] { return static_cast<double>(epochs_.fallbacks()); });
+  reg.gauge(comp, "epoch_stale_applies",
+            [this] { return static_cast<double>(epochs_.stale_applies()); });
+  reg.gauge(comp, "epoch_stale_commits",
+            [this] { return static_cast<double>(epochs_.stale_commits()); });
+  reg.gauge(comp, "failovers",
+            [this] { return static_cast<double>(failovers_); });
+  reg.gauge(comp, "failed_reroutes",
+            [this] { return static_cast<double>(failed_reroutes_); });
+  reg.gauge(comp, "stale_probe_results",
+            [this] { return static_cast<double>(stale_probe_results_); });
+  reg.gauge(comp, "resyncs", [this] { return static_cast<double>(resyncs_); });
+  reg.gauge(comp, "query_timeouts",
+            [this] { return static_cast<double>(query_timeouts_); });
+  reg.gauge(comp, "blackholed_flows", [this] {
+    return static_cast<double>(blackholed_since_.size());
+  });
+  reg.gauge(comp, "max_blackhole_us",
+            [this] { return sim::to_microseconds(max_blackhole_observed_); });
 }
 
 void Controller::attach_switch(int graph_node, switchsim::Switch* sw,
@@ -53,6 +90,16 @@ void Controller::install_routes() {
   for (int node : sorted_switch_nodes_) {
     SwitchAttachment& att = switches_.at(node);
     if (att.monitor_port >= 0) att.sw->set_mirroring(att.monitor_port);
+  }
+
+  // Stamp the freshly-installed whole-table program as epoch 1 on every
+  // switch (synchronously — installation models out-of-band setup, not
+  // channel traffic). Runtime reroutes version from here.
+  const std::uint64_t install_epoch = epochs_.allocate_program();
+  for (int node : sorted_switch_nodes_) {
+    switchsim::Switch* sw = switches_.at(node).sw;
+    sw->stage_epoch(install_epoch);
+    sw->commit_epoch(install_epoch);
   }
 
   if (config_.heartbeat_interval > 0 && !switches_.empty()) {
@@ -128,12 +175,16 @@ void Controller::install_host_arp() {
   }
 }
 
-void Controller::reroute_flow(const net::FlowKey& key, int tree,
-                              RerouteMechanism mechanism) {
+std::uint64_t Controller::reroute_flow(const net::FlowKey& key, int tree,
+                                       RerouteMechanism mechanism) {
   assert(tree >= 0 && tree < routing_.num_trees());
   const int src_host = net::host_id_of_ip(key.src_ip);
   const int dst_host = net::host_id_of_ip(key.dst_ip);
   assert(src_host >= 0 && dst_host >= 0);
+  // Open the route-program epoch first so it captures the pre-reroute tree
+  // as last-good, then record the assignment optimistically — fail_epoch
+  // reconciles it if the program never survives the channel.
+  const std::uint64_t epoch = epochs_.open(key, tree, tree_of(key));
   tree_assignment_[key] = tree;
 
   // Ingress switch: the first hop of the source's base path.
@@ -142,7 +193,12 @@ void Controller::reroute_flow(const net::FlowKey& key, int tree,
   const int ingress_node = base.hops.front().switch_node;
   const int ingress_in_port = base.hops.front().in_port;
   const auto it = switches_.find(ingress_node);
-  if (it == switches_.end()) return;
+  if (it == switches_.end()) {
+    // Degenerate testbed with no ingress attached: nothing to install, the
+    // assignment itself is the program.
+    epochs_.commit(key, epoch);
+    return epoch;
+  }
   switchsim::Switch* ingress = it->second.sw;
 
   if (mechanism == RerouteMechanism::kArp) {
@@ -151,6 +207,10 @@ void Controller::reroute_flow(const net::FlowKey& key, int tree,
     // "from" the destination IP, advertising the shadow MAC (§6.2). The
     // packet-out RPC rides the lossy channel and is retried until the
     // switch acknowledges it; duplicates just re-advertise the same MAC.
+    // The inject is epoch-filtered at execution time: a delivery (or
+    // retry) landing after a newer program was opened for this flow must
+    // not re-poison the host's ARP cache with the older tree — it is
+    // acked but not applied.
     net::Packet arp;
     arp.proto = net::Protocol::kArp;
     arp.arp_op = net::ArpOp::kRequest;
@@ -162,21 +222,30 @@ void Controller::reroute_flow(const net::FlowKey& key, int tree,
     const int host_port = ingress_in_port;
     const sim::Duration packet_out_delay = config_.packet_out_delay;
     channel_.call(
-        [this, ingress, arp, host_port, packet_out_delay] {
+        [this, ingress, arp, host_port, packet_out_delay, key, epoch] {
           if (!ingress->online()) return false;
-          sim_.schedule(packet_out_delay, [ingress, arp, host_port] {
-            ingress->inject(arp, host_port);
-          });
+          if (epochs_.begin_apply(key, epoch)) {
+            sim_.schedule(packet_out_delay, [ingress, arp, host_port] {
+              ingress->inject(arp, host_port);
+            });
+          }
           return true;
         },
-        [this](bool ok) {
-          if (!ok) ++failed_reroutes_;
+        [this, key, epoch, ingress_node](bool ok) {
+          if (ok) {
+            on_epoch_committed(key, epoch, ingress_node);
+          } else {
+            fail_epoch(key, epoch);
+          }
         });
   } else {
     ++openflow_reroutes_;
-    // Flow-mod: rewrite the destination MAC at the ingress switch, then
-    // re-resolve the output from the MAC table. TCAM install time is the
-    // dominant latency (Figure 16).
+    // Flow-mod under the banked-table protocol (DESIGN.md §10): stage the
+    // rule into the ingress switch's staging bank (TCAM install time is
+    // the dominant latency, Figure 16), then flip it live with a commit
+    // RPC. The flip is atomic and deferred past the install, so a
+    // partially-written program is never served; either RPC exhausting
+    // its retries aborts the program and falls back to last-good.
     const sim::Duration install =
         config_.of_install_min +
         static_cast<sim::Duration>(rng_.uniform() *
@@ -186,18 +255,129 @@ void Controller::reroute_flow(const net::FlowKey& key, int tree,
     switchsim::RuleActions actions;
     actions.set_dst_mac = net::host_mac(dst_host, tree);
     const net::FlowKey k = key;
-    channel_.call(
-        [this, ingress, k, actions, install] {
-          if (!ingress->online()) return false;
-          sim_.schedule(install, [ingress, k, actions] {
-            ingress->rules().set_flow_rule(k, actions);
+    run_on_switch(ingress_node, [this, ingress, ingress_node, k, actions,
+                                 install, epoch] {
+      channel_.call(
+          [ingress, epoch, k, actions, install] {
+            return ingress->stage_reroute(epoch, k, actions, install);
+          },
+          [this, ingress, ingress_node, k, epoch](bool staged) {
+            if (!staged) {
+              fail_epoch(k, epoch);
+              switch_op_done(ingress_node);
+              return;
+            }
+            channel_.call(
+                [ingress, epoch] { return ingress->commit_epoch(epoch); },
+                [this, ingress_node, k, epoch](bool committed) {
+                  if (committed) {
+                    acked_flow_rules_[ingress_node][k] = epoch;
+                    on_epoch_committed(k, epoch, ingress_node);
+                  } else {
+                    fail_epoch(k, epoch);
+                  }
+                  switch_op_done(ingress_node);
+                });
           });
-          return true;
-        },
-        [this](bool ok) {
-          if (!ok) ++failed_reroutes_;
-        });
+    });
   }
+  return epoch;
+}
+
+void Controller::run_on_switch(int node, std::function<void()> op) {
+  if (switch_busy_.insert(node).second) {
+    op();
+    return;
+  }
+  switch_queue_[node].push_back(std::move(op));
+}
+
+void Controller::switch_op_done(int node) {
+  auto it = switch_queue_.find(node);
+  if (it == switch_queue_.end() || it->second.empty()) {
+    switch_busy_.erase(node);
+    return;
+  }
+  std::function<void()> next = std::move(it->second.front());
+  it->second.pop_front();
+  next();
+}
+
+void Controller::on_epoch_committed(const net::FlowKey& key,
+                                    std::uint64_t epoch, int ingress_node) {
+  const EpochManager::CommitOutcome outcome = epochs_.commit(key, epoch);
+  if (outcome.newest) {
+    // The acked program is authoritative: the assignment (which a
+    // fall-back of an even-newer failed program may have regressed)
+    // follows it, and the flow is no longer blackholed.
+    tree_assignment_[key] = outcome.tree;
+    blackholed_since_.erase(key);
+  }
+  maybe_reconcile_flow_rule(key, ingress_node);
+}
+
+void Controller::fail_epoch(const net::FlowKey& key, std::uint64_t epoch) {
+  ++failed_reroutes_;
+  if (const std::optional<int> fallback = epochs_.rollback(key, epoch)) {
+    tree_assignment_[key] = *fallback;
+    PLANCK_TRACE_ARGS(sim_, "controller", "epoch_fallback",
+                      obs::argf("\"epoch\":%llu,\"tree\":%d",
+                                static_cast<unsigned long long>(epoch),
+                                *fallback));
+  }
+}
+
+void Controller::maybe_reconcile_flow_rule(const net::FlowKey& key,
+                                           int ingress_node) {
+  // A committed-but-stale OpenFlow rule outranks every newer program in
+  // the data plane (flow table beats MAC table, and the host's ARP cache
+  // only matters after the rewrite is gone). Once the flow has settled —
+  // nothing in flight — and its newest program is NOT the acked rule,
+  // erase the rule under a fresh epoch so the data plane converges on the
+  // newest program.
+  if (epochs_.in_flight(key)) return;  // let the newest attempt settle
+  const auto node_it = acked_flow_rules_.find(ingress_node);
+  if (node_it == acked_flow_rules_.end()) return;
+  const auto rule_it = node_it->second.find(key);
+  if (rule_it == node_it->second.end()) return;
+  if (rule_it->second >= epochs_.newest_epoch(key)) return;  // rule is newest
+
+  const auto sw_it = switches_.find(ingress_node);
+  if (sw_it == switches_.end()) return;
+  switchsim::Switch* ingress = sw_it->second.sw;
+  const std::uint64_t erase_epoch = epochs_.open(key, tree_of(key), tree_of(key));
+  const sim::Duration install = config_.of_install_min;
+  PLANCK_TRACE_ARGS(sim_, "controller", "reconcile_erase",
+                    obs::argf("\"stale\":%llu,\"epoch\":%llu",
+                              static_cast<unsigned long long>(rule_it->second),
+                              static_cast<unsigned long long>(erase_epoch)));
+  run_on_switch(ingress_node, [this, ingress, ingress_node, key, erase_epoch,
+                               install] {
+    channel_.call(
+        [ingress, erase_epoch, key, install] {
+          return ingress->stage_flow_erase(erase_epoch, key, install);
+        },
+        [this, ingress, ingress_node, key, erase_epoch](bool staged) {
+          if (!staged) {
+            fail_epoch(key, erase_epoch);
+            switch_op_done(ingress_node);
+            return;
+          }
+          channel_.call(
+              [ingress, erase_epoch] {
+                return ingress->commit_epoch(erase_epoch);
+              },
+              [this, ingress_node, key, erase_epoch](bool committed) {
+                if (committed) {
+                  acked_flow_rules_[ingress_node].erase(key);
+                  on_epoch_committed(key, erase_epoch, ingress_node);
+                } else {
+                  fail_epoch(key, erase_epoch);
+                }
+                switch_op_done(ingress_node);
+              });
+        });
+  });
 }
 
 void Controller::notify_port_status(int switch_node, int port, bool up) {
@@ -246,16 +426,32 @@ int Controller::first_alive_tree(int src_host, int dst_host) const {
 }
 
 void Controller::probe_switches() {
+  const std::uint64_t round = ++probe_round_;
   for (int node : sorted_switch_nodes_) {
     switchsim::Switch* sw = switches_.at(node).sw;
-    channel_.call([sw] { return sw->online(); }, [this, node](bool alive) {
-      if (alive) {
-        mark_switch_alive(node);
-      } else {
-        mark_switch_dead(node);
-      }
-    });
+    channel_.call([sw] { return sw->online(); },
+                  [this, node, round](bool alive) {
+                    // A dead-switch probe burns its whole retry budget
+                    // (~255 ms) before failing, while later rounds keep
+                    // probing every heartbeat — so completions arrive out
+                    // of order, and an old slow "dead" verdict landing
+                    // after a fresh "alive" one would flap the switch.
+                    // Apply a verdict only if its round is newer than the
+                    // last one applied for this switch.
+                    std::uint64_t& applied = probe_applied_round_[node];
+                    if (round <= applied) {
+                      ++stale_probe_results_;
+                      return;
+                    }
+                    applied = round;
+                    if (alive) {
+                      mark_switch_alive(node);
+                    } else {
+                      mark_switch_dead(node);
+                    }
+                  });
   }
+  enforce_blackhole_bound();
   heartbeat_timer_.schedule(config_.heartbeat_interval);
 }
 
@@ -282,6 +478,66 @@ void Controller::mark_switch_alive(int node) {
     }
     for (const auto& handler : link_status_handlers_) {
       handler(node, port, true);
+    }
+  }
+  // The crash wiped the switch's soft state (flow rules, staging); only
+  // the flash-backed MAC program survived. Bring it back to the current
+  // epoch by reinstalling every rule the controller believes it carries.
+  resync_switch(node);
+}
+
+void Controller::resync_switch(int node) {
+  const auto it = acked_flow_rules_.find(node);
+  if (it == acked_flow_rules_.end() || it->second.empty()) return;
+  std::vector<net::FlowKey> keys;
+  keys.reserve(it->second.size());
+  // Collect-then-sort: the acked-rule map is unordered.
+  for (const auto& [key, epoch] : it->second) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  // The acked set is rebuilt as the reinstalls commit.
+  it->second.clear();
+  for (const net::FlowKey& key : keys) {
+    ++resyncs_;
+    PLANCK_TRACE_ARGS(sim_, "controller", "resync_flow_rule",
+                      obs::argf("\"node\":%d", node));
+    reroute_flow(key, tree_of(key), RerouteMechanism::kOpenFlow);
+  }
+}
+
+void Controller::enforce_blackhole_bound() {
+  if (blackholed_since_.empty()) return;
+  std::vector<net::FlowKey> keys;
+  keys.reserve(blackholed_since_.size());
+  // planck-lint: allow(unordered-iteration) — collect-then-sort
+  for (const auto& [key, since] : blackholed_since_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const net::FlowKey& key : keys) {
+    const int src = net::host_id_of_ip(key.src_ip);
+    const int dst = net::host_id_of_ip(key.dst_ip);
+    if (src < 0 || dst < 0 || src == dst) {
+      blackholed_since_.erase(key);
+      continue;
+    }
+    if (path_alive(routing_.path(src, dst, tree_of(key)))) {
+      blackholed_since_.erase(key);  // repaired (or the path came back)
+      continue;
+    }
+    const int alternate = first_alive_tree(src, dst);
+    if (alternate < 0) {
+      // No live alternative exists; the bound only covers repairable
+      // flows, so the clock restarts when repair becomes possible.
+      blackholed_since_[key] = sim_.now();
+      continue;
+    }
+    const sim::Duration window = sim_.now() - blackholed_since_.at(key);
+    if (window > max_blackhole_observed_) max_blackhole_observed_ = window;
+    PLANCK_CONTRACT(window <= config_.max_blackhole_window,
+                    "no-blackholed-flow-longer-than-T: a flow with a live "
+                    "alternate tree must be repaired within the bound");
+    if (!epochs_.in_flight(key) && alternate != tree_of(key)) {
+      // The earlier repair fell back; try again on this heartbeat.
+      ++failovers_;
+      reroute_flow(key, alternate, config_.failover_mechanism);
     }
   }
 }
@@ -312,6 +568,10 @@ void Controller::failover_dead_paths() {
     const int dst = net::host_id_of_ip(key.dst_ip);
     if (src < 0 || dst < 0 || src == dst) continue;
     if (path_alive(routing_.path(src, dst, tree))) continue;
+    // Start (or keep) the blackhole clock the moment the controller sees
+    // the assigned path dead — the heartbeat asserts the repair bound
+    // against it (enforce_blackhole_bound).
+    blackholed_since_.try_emplace(key, sim_.now());
     const int alternate = first_alive_tree(src, dst);
     if (alternate < 0 || alternate == tree) continue;
     ++failovers_;
@@ -342,15 +602,47 @@ void Controller::subscribe_congestion(CongestionHandler handler) {
 }
 
 void Controller::query_link_utilization(int switch_node, int out_port,
-                                        std::function<void(double)> reply) {
+                                        std::function<void(double)> reply,
+                                        std::function<void()> on_failure) {
   const auto it = collectors_.find(switch_node);
-  if (it == collectors_.end()) return;
+  if (it == collectors_.end()) {
+    if (on_failure) sim_.schedule(0, [on_failure] { on_failure(); });
+    return;
+  }
   core::Collector* collector = it->second;
-  channel_.send([this, collector, out_port, reply = std::move(reply)] {
-    if (!collector->online()) return;  // a dead process never answers
+  if (!on_failure) {
+    // Legacy fire-and-forget path: a lost leg silently swallows the query.
+    channel_.send([this, collector, out_port, reply = std::move(reply)] {
+      if (!collector->online()) return;  // a dead process never answers
+      const double util = collector->link_utilization_bps(out_port);
+      channel_.send([reply, util] { reply(util); });
+    });
+    return;
+  }
+  // Failure-aware path: both legs stay fire-and-forget (the low-latency
+  // API must not grow retries), but a deadline timer fires the failure
+  // callback when no reply landed — loss, duplicate-then-loss, or a dead
+  // collector all surface the same way. Exactly one of reply/on_failure
+  // runs, once.
+  auto answered = std::make_shared<bool>(false);
+  channel_.send([this, collector, out_port, reply = std::move(reply),
+                 answered] {
+    if (!collector->online()) return;
     const double util = collector->link_utilization_bps(out_port);
-    channel_.send([reply, util] { reply(util); });
+    channel_.send([reply, util, answered] {
+      if (*answered) return;  // duplicate delivery, or past the deadline
+      *answered = true;
+      reply(util);
+    });
   });
+  sim_.schedule(config_.query_timeout,
+                [this, answered, on_failure = std::move(on_failure)] {
+                  if (*answered) return;
+                  *answered = true;
+                  ++query_timeouts_;
+                  PLANCK_TRACE(sim_, "controller", "query_timeout");
+                  on_failure();
+                });
 }
 
 }  // namespace planck::controller

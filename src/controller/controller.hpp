@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "controller/control_channel.hpp"
+#include "controller/epoch_manager.hpp"
 #include "controller/routing.hpp"
 #include "core/collector.hpp"
 #include "net/packet.hpp"
@@ -51,6 +53,16 @@ struct ControllerConfig {
   /// Mechanism used when failing flows over dead links/switches. ARP is
   /// the paper's fast path and the right default for repair.
   RerouteMechanism failover_mechanism = RerouteMechanism::kArp;
+  /// Contract bound T (DESIGN.md §10): a flow whose assigned path is dead
+  /// while a live alternate tree exists must be repaired within this
+  /// window, heartbeat-asserted via PLANCK_CONTRACT. The default covers
+  /// one fully-exhausted reroute RPC budget (~255 ms of retries against a
+  /// freshly-dead target) plus a heartbeat-triggered retry.
+  sim::Duration max_blackhole_window = sim::milliseconds(300);
+  /// Reply deadline for query_link_utilization when the caller asks for a
+  /// failure callback; both legs are fire-and-forget, so only a timer can
+  /// surface a lost query.
+  sim::Duration query_timeout = sim::milliseconds(2);
   std::uint64_t seed = 1;
 };
 
@@ -93,11 +105,13 @@ class Controller {
     return it == tree_assignment_.end() ? 0 : it->second;
   }
 
-  /// Moves `key` onto `tree`. Destination/source hosts are derived from
-  /// the flow's addresses. The change is applied after the mechanism's
-  /// modelled latency; the assignment is recorded immediately.
-  void reroute_flow(const net::FlowKey& key, int tree,
-                    RerouteMechanism mechanism);
+  /// Moves `key` onto `tree` under a fresh route-program epoch (returned).
+  /// Destination/source hosts are derived from the flow's addresses. The
+  /// assignment is recorded optimistically and reconciled by the epoch
+  /// manager: if the program fails to survive the channel it falls back to
+  /// the flow's last-good tree (DESIGN.md §10).
+  std::uint64_t reroute_flow(const net::FlowKey& key, int tree,
+                             RerouteMechanism mechanism);
 
   /// Subscribes an application to congestion events from every collector;
   /// delivery incurs one control-channel latency (§3.3).
@@ -105,12 +119,34 @@ class Controller {
 
   /// Forwards a statistics query to the right collector; the reply arrives
   /// after a control-channel round trip. This is the drop-in low-latency
-  /// statistics API of §3.3.
+  /// statistics API of §3.3. Both legs are fire-and-forget: without
+  /// `on_failure` a lost message silently swallows the query (legacy
+  /// behaviour); with it, a reply missing after `config.query_timeout` —
+  /// or an unattached/offline collector — fires the failure callback
+  /// exactly once instead.
   void query_link_utilization(int switch_node, int out_port,
-                              std::function<void(double)> reply);
+                              std::function<void(double)> reply,
+                              std::function<void()> on_failure = nullptr);
 
   std::uint64_t arp_reroutes() const { return arp_reroutes_; }
   std::uint64_t openflow_reroutes() const { return openflow_reroutes_; }
+  /// Link-utilization queries that hit the reply deadline.
+  std::uint64_t query_timeouts() const { return query_timeouts_; }
+
+  // --- epoch'd control plane (DESIGN.md §10) ----------------------------
+  const EpochManager& epochs() const { return epochs_; }
+  /// Recovered switches re-synced to the current epoch (flow rules lost in
+  /// the crash reinstalled under fresh epochs).
+  std::uint64_t resyncs() const { return resyncs_; }
+  /// Heartbeat probe completions discarded for being stale (sequencing).
+  std::uint64_t stale_probe_results() const { return stale_probe_results_; }
+  /// Longest observed dead-assigned-path window for any flow that had a
+  /// live alternate tree (must stay under config.max_blackhole_window).
+  sim::Duration max_blackhole_observed() const {
+    return max_blackhole_observed_;
+  }
+  /// Flows currently believed blackholed (assigned path dead).
+  std::size_t blackholed_flows() const { return blackholed_since_.size(); }
 
   // --- failure plane ----------------------------------------------------
   /// Entry point for a switch's loss-of-signal notification. Models the
@@ -158,6 +194,7 @@ class Controller {
   void install_switch_rules();
   void push_route_views();
   void install_host_arp();
+  void register_metrics();
 
   /// Applies a port-status message after it survived the channel. Duplicate
   /// deliveries (at-least-once RPC) are idempotent.
@@ -169,6 +206,32 @@ class Controller {
   /// online collectors' flow tables) and moves those whose current path
   /// crosses dead equipment onto the first surviving tree.
   void failover_dead_paths();
+
+  // --- epoch'd control plane (DESIGN.md §10) ----------------------------
+  /// Serializes route-program operations per switch: at most one
+  /// stage/commit exchange is in flight against a switch at a time, so a
+  /// later program can never clobber an earlier one's staging bank
+  /// mid-install. Ops queue FIFO and run when the slot frees.
+  void run_on_switch(int node, std::function<void()> op);
+  void switch_op_done(int node);
+  /// End-to-end ack bookkeeping for `epoch`; reconciles the data plane
+  /// when the acked program turned out stale.
+  void on_epoch_committed(const net::FlowKey& key, std::uint64_t epoch,
+                          int ingress_node);
+  /// Failsafe: the program failed — roll the optimistic assignment back to
+  /// the flow's last-good tree.
+  void fail_epoch(const net::FlowKey& key, std::uint64_t epoch);
+  /// Erases an obsolete acked flow rule that would outrank newer route
+  /// state (a stale OpenFlow program under a newer ARP one), under a fresh
+  /// epoch through the per-switch queue.
+  void maybe_reconcile_flow_rule(const net::FlowKey& key, int ingress_node);
+  /// Reinstalls a recovered switch's crash-lost flow rules under fresh
+  /// epochs, bringing it to the current epoch.
+  void resync_switch(int node);
+  /// Heartbeat-time contract check: no flow with a live alternate tree
+  /// stays blackholed past config.max_blackhole_window; retries repairs
+  /// that fell back.
+  void enforce_blackhole_bound();
 
   sim::Simulation& sim_;
   const net::TopologyGraph& graph_;
@@ -194,10 +257,31 @@ class Controller {
   std::unordered_set<int> dead_switches_;
   sim::Timer heartbeat_timer_;
 
+  EpochManager epochs_;
+  /// Per-switch route-program op serialization (see run_on_switch).
+  std::unordered_map<int, std::deque<std::function<void()>>> switch_queue_;
+  std::unordered_set<int> switch_busy_;
+  /// Flow rules the switch acked end-to-end, by ingress node: the resync
+  /// set for crash recovery, and the stale-rule set for reconciliation.
+  std::unordered_map<
+      int, std::unordered_map<net::FlowKey, std::uint64_t, net::FlowKeyHash>>
+      acked_flow_rules_;
+  /// First time the controller saw each flow's assigned path dead.
+  std::unordered_map<net::FlowKey, sim::Time, net::FlowKeyHash>
+      blackholed_since_;
+  /// Heartbeat probe sequencing: a completion from round R is applied only
+  /// if R is newer than the last round applied for that switch.
+  std::uint64_t probe_round_ = 0;
+  std::unordered_map<int, std::uint64_t> probe_applied_round_;
+
   std::uint64_t arp_reroutes_ = 0;
   std::uint64_t openflow_reroutes_ = 0;
   std::uint64_t failovers_ = 0;
   std::uint64_t failed_reroutes_ = 0;
+  std::uint64_t stale_probe_results_ = 0;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t query_timeouts_ = 0;
+  sim::Duration max_blackhole_observed_ = 0;
 };
 
 }  // namespace planck::controller

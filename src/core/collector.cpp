@@ -14,7 +14,8 @@ Collector::Collector(sim::Simulation& simulation, std::string name,
       switch_node_(switch_node),
       config_(config),
       flows_(config.estimator),
-      sweep_timer_(simulation, [this] { sweep(); }) {
+      sweep_timer_(simulation, [this] { sweep(); }),
+      drain_timer_(simulation, [this] { drain_event(); }) {
   register_metrics();
   sweep_timer_.schedule(config_.sweep_interval);
 }
@@ -39,6 +40,16 @@ void Collector::register_metrics() {
             [this] { return static_cast<double>(samples_dropped_offline_); });
   reg.gauge(comp, "flow_table_size",
             [this] { return static_cast<double>(flows_.size()); });
+  reg.gauge(comp, "backpressure_mode",
+            [this] { return static_cast<double>(mode_); });
+  reg.gauge(comp, "events_queued",
+            [this] { return static_cast<double>(event_queue_.size()); });
+  reg.gauge(comp, "events_shed",
+            [this] { return static_cast<double>(events_shed_); });
+  reg.gauge(comp, "events_dispatched",
+            [this] { return static_cast<double>(events_dispatched_); });
+  reg.gauge(comp, "samples_sampled_down",
+            [this] { return static_cast<double>(samples_sampled_down_); });
   evictions_metric_ = &reg.counter(comp, "evictions");
 }
 
@@ -49,6 +60,14 @@ void Collector::set_online(bool online) {
   if (!online) {
     ++outages_;
     sweep_timer_.cancel();  // the process is dead; housekeeping stops too
+    // Queued-but-undelivered events die with the process.
+    events_shed_ += event_queue_.size();
+    event_queue_.clear();
+    drain_timer_.cancel();
+    if (mode_ != BackpressureMode::kNormal) {
+      mode_ = BackpressureMode::kNormal;
+      ++mode_changes_;
+    }
   } else {
     // Restart: purge everything that went stale during the outage before
     // answering queries again, then resume the periodic sweep.
@@ -86,6 +105,15 @@ void Collector::handle_packet(const net::Packet& packet, int /*in_port*/) {
   if (sample_hook_) sample_hook_(ring_.back());
 
   if (packet.proto == net::Protocol::kArp) return;
+
+  // Sample-down backpressure: under event-queue pressure only every Nth
+  // sample pays for flow-table and estimator work (the ring above still
+  // sees everything — raw capture is cheap, estimation is not).
+  if (mode_ >= BackpressureMode::kSampleDown &&
+      ++sample_down_counter_ % config_.backpressure.sample_down_factor != 0) {
+    ++samples_sampled_down_;
+    return;
+  }
 
   FlowRecord& rec = flows_.upsert(packet.flow_key(), sim_.now());
   rec.src_mac = packet.src_mac;
@@ -138,7 +166,13 @@ std::vector<FlowRate> Collector::flows_on_link(int out_port) const {
   return out;
 }
 
-void Collector::maybe_fire_event(int out_port) {
+void Collector::maybe_fire_event(int out_port, bool from_sweep) {
+  if (mode_ == BackpressureMode::kSweepOnly && !from_sweep) {
+    // Degraded to sweep-only: the per-sample fast path stops evaluating;
+    // the housekeeping sweep fires at most one event per link per period.
+    ++events_deferred_to_sweep_;
+    return;
+  }
   const auto cap_it = link_capacity_.find(out_port);
   if (cap_it == link_capacity_.end()) return;
   const double util = link_utilization_bps(out_port);
@@ -162,7 +196,68 @@ void Collector::maybe_fire_event(int out_port) {
                     obs::argf("\"out_port\":%d,\"util_gbps\":%.3f,"
                               "\"flows\":%zu",
                               out_port, util / 1e9, event.flows.size()));
+  emit_event(std::move(event));
+}
+
+void Collector::emit_event(CongestionEvent event) {
+  const BackpressureConfig& bp = config_.backpressure;
+  if (bp.queue_capacity == 0) {
+    // Backpressure plane off: legacy synchronous dispatch.
+    for (const auto& handler : congestion_handlers_) handler(event);
+    return;
+  }
+  if (mode_ >= BackpressureMode::kShed ||
+      event_queue_.size() >= bp.queue_capacity) {
+    ++events_shed_;
+    PLANCK_TRACE_ARGS(sim_, "collector." + name_, "event_shed",
+                      obs::argf("\"queued\":%zu", event_queue_.size()));
+    update_backpressure_mode();
+    return;
+  }
+  event_queue_.push_back(std::move(event));
+  update_backpressure_mode();
+  if (!drain_timer_.pending()) drain_timer_.schedule(bp.drain_interval);
+}
+
+void Collector::drain_event() {
+  if (!online_ || event_queue_.empty()) return;
+  const CongestionEvent event = std::move(event_queue_.front());
+  event_queue_.pop_front();
+  ++events_dispatched_;
   for (const auto& handler : congestion_handlers_) handler(event);
+  update_backpressure_mode();
+  if (!event_queue_.empty()) {
+    drain_timer_.schedule(config_.backpressure.drain_interval);
+  }
+}
+
+void Collector::update_backpressure_mode() {
+  const BackpressureConfig& bp = config_.backpressure;
+  const std::size_t depth = event_queue_.size();
+  // Heaviest mode whose watermark the depth reaches wins; a mode already
+  // engaged persists until the queue drains below half its watermark.
+  auto holds = [&](std::size_t watermark, bool engaged) {
+    if (watermark == 0) return false;
+    return depth >= watermark || (engaged && depth >= (watermark + 1) / 2);
+  };
+  BackpressureMode target = BackpressureMode::kNormal;
+  if (holds(bp.sample_down_watermark,
+            mode_ >= BackpressureMode::kSampleDown)) {
+    target = BackpressureMode::kSampleDown;
+  }
+  if (holds(bp.shed_watermark, mode_ >= BackpressureMode::kShed)) {
+    target = BackpressureMode::kShed;
+  }
+  if (holds(bp.sweep_watermark, mode_ == BackpressureMode::kSweepOnly)) {
+    target = BackpressureMode::kSweepOnly;
+  }
+  if (target == mode_) return;
+  PLANCK_TRACE_ARGS(sim_, "collector." + name_, "backpressure_mode",
+                    obs::argf("\"from\":%d,\"to\":%d,\"queued\":%zu",
+                              static_cast<int>(mode_),
+                              static_cast<int>(target), depth));
+  mode_ = target;
+  ++mode_changes_;
 }
 
 void Collector::sweep() {
@@ -202,6 +297,18 @@ void Collector::sweep() {
     PLANCK_TRACE_ARGS(sim_, "collector." + name_, "evictions",
                       obs::argf("\"count\":%llu",
                                 static_cast<unsigned long long>(evicted)));
+  }
+
+  // Degrade-to-sweep backpressure: while the fast path is muted, evaluate
+  // congestion once per period, port-ordered — at most one event per
+  // congested link instead of one per hot sample.
+  if (mode_ == BackpressureMode::kSweepOnly) {
+    std::vector<int> ports;
+    ports.reserve(link_capacity_.size());
+    // planck-lint: allow(unordered-iteration) — collect-then-sort
+    for (const auto& [port, cap] : link_capacity_) ports.push_back(port);
+    std::sort(ports.begin(), ports.end());
+    for (int port : ports) maybe_fire_event(port, /*from_sweep=*/true);
   }
 
   // Per-sweep counter tracks, emitted only while the sample stream is

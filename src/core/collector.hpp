@@ -48,8 +48,47 @@ struct CongestionEvent {
   std::vector<FlowRate> flows;
 };
 
+/// Collector→controller backpressure (DESIGN.md §10). Under event storms
+/// the collector must not melt the controller: congestion events go
+/// through a bounded queue drained at the controller's modelled ingest
+/// rate, and watermarks on that queue select progressively cheaper
+/// operating modes. `queue_capacity = 0` disables the whole plane —
+/// events dispatch synchronously, byte-identical to the legacy behaviour.
+struct BackpressureConfig {
+  /// Congestion-event queue capacity; 0 = no queue (legacy synchronous
+  /// dispatch, the default).
+  std::size_t queue_capacity = 0;
+  /// One queued event is dispatched to subscribers per interval — the
+  /// controller's ingest-rate model.
+  sim::Duration drain_interval = sim::microseconds(200);
+  /// Queue depth at which the collector starts decimating its own sample
+  /// stream (only every `sample_down_factor`-th sample feeds the flow
+  /// table / estimators). 0 = never.
+  std::size_t sample_down_watermark = 0;
+  std::uint32_t sample_down_factor = 4;
+  /// Queue depth at which freshly-detected events are shed outright.
+  /// 0 = never (the queue still sheds on overflow).
+  std::size_t shed_watermark = 0;
+  /// Queue depth at which event detection degrades to the housekeeping
+  /// sweep: the per-sample fast path stops evaluating thresholds and the
+  /// sweep fires at most one event per congested link per period. 0 =
+  /// never.
+  std::size_t sweep_watermark = 0;
+};
+
+/// Operating mode selected by the event-queue watermarks, heaviest wins.
+/// Modes are entered at their watermark and left once the queue drains
+/// below half of it (hysteresis against flapping).
+enum class BackpressureMode {
+  kNormal = 0,
+  kSampleDown = 1,
+  kShed = 2,
+  kSweepOnly = 3,
+};
+
 struct CollectorConfig {
   EstimatorConfig estimator;
+  BackpressureConfig backpressure;
   /// Utilization fraction of link capacity above which a congestion event
   /// fires.
   double congestion_threshold = 0.90;
@@ -145,6 +184,23 @@ class Collector : public net::Node {
   /// Flow records removed by the idle-timeout sweep.
   std::uint64_t evictions() const { return evictions_; }
 
+  // --- backpressure (DESIGN.md §10) --------------------------------------
+  BackpressureMode backpressure_mode() const { return mode_; }
+  /// Congestion events currently queued toward the controller.
+  std::size_t events_queued() const { return event_queue_.size(); }
+  /// Events dropped: shed-mode discards, queue overflow, and events lost
+  /// in a collector crash.
+  std::uint64_t events_shed() const { return events_shed_; }
+  /// Events handed to subscribers from the drain (queued path only).
+  std::uint64_t events_dispatched() const { return events_dispatched_; }
+  /// Samples skipped by sample-down decimation.
+  std::uint64_t samples_sampled_down() const { return samples_sampled_down_; }
+  /// Fast-path detections suppressed while degraded to sweep-only.
+  std::uint64_t events_deferred_to_sweep() const {
+    return events_deferred_to_sweep_;
+  }
+  std::uint64_t mode_changes() const { return mode_changes_; }
+
   const CollectorConfig& config() const { return config_; }
 
  private:
@@ -159,7 +215,14 @@ class Collector : public net::Node {
   };
 
   void on_rate_update(FlowRecord& rec, double old_rate);
-  void maybe_fire_event(int out_port);
+  /// Threshold + debounce check for `out_port`; `from_sweep` bypasses the
+  /// sweep-only suppression (the sweep is the one allowed to fire then).
+  void maybe_fire_event(int out_port, bool from_sweep = false);
+  /// Routes a detected event to subscribers: synchronously when the
+  /// backpressure plane is off, else through the bounded queue.
+  void emit_event(CongestionEvent event);
+  void drain_event();
+  void update_backpressure_mode();
   void sweep();
   /// Registers this collector's metrics with the telemetry plane, if one
   /// is installed on the simulation (DESIGN.md §9).
@@ -203,7 +266,18 @@ class Collector : public net::Node {
   std::uint64_t samples_traced_ = 0;  // last samples_received_ put on a
                                       // trace counter track
 
+  // --- backpressure state (DESIGN.md §10) --------------------------------
+  BackpressureMode mode_ = BackpressureMode::kNormal;
+  std::deque<CongestionEvent> event_queue_;
+  std::uint64_t events_shed_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::uint64_t samples_sampled_down_ = 0;
+  std::uint64_t events_deferred_to_sweep_ = 0;
+  std::uint64_t mode_changes_ = 0;
+  std::uint64_t sample_down_counter_ = 0;
+
   sim::Timer sweep_timer_;
+  sim::Timer drain_timer_;
 };
 
 }  // namespace planck::core

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/contract.hpp"
+
 namespace planck::fault {
 
 FaultInjector::FaultInjector(sim::Simulation& simulation,
@@ -164,6 +166,20 @@ bool FaultInjector::switch_down(int node) const {
 bool FaultInjector::collector_down(int node) const {
   const auto it = collector_depth_.find(node);
   return it != collector_depth_.end() && it->second > 0;
+}
+
+void FaultInjector::check_epoch_invariants() {
+  const std::uint64_t issued = testbed_.controller().epochs().last_epoch();
+  for (int i = 0; i < testbed_.num_switches(); ++i) {
+    const switchsim::Switch* sw = testbed_.switch_by_index(i);
+    PLANCK_CONTRACT(sw->committed_epoch() <= issued,
+                    "epoch provenance: no switch may run a route program "
+                    "the controller never issued");
+    PLANCK_CONTRACT(!sw->rules().staging() ||
+                        sw->rules().staged_epoch() > sw->committed_epoch(),
+                    "staged-never-served: a staged program must be strictly "
+                    "newer than the live one");
+  }
 }
 
 }  // namespace planck::fault

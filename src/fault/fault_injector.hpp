@@ -88,6 +88,13 @@ class FaultInjector {
   /// config filters out every candidate class).
   int plan_random(const ChaosConfig& config);
 
+  /// Cross-component epoch invariants (DESIGN.md §10), assertable at any
+  /// point of a chaos run via PLANCK_CONTRACT: no switch runs a route
+  /// program the controller never issued, and any staged program is
+  /// strictly newer than the one live on that switch — i.e. a partially
+  /// installed epoch is never the one being served.
+  void check_epoch_invariants();
+
   /// Applied transitions, in event order.
   const std::vector<FaultRecord>& history() const { return history_; }
   /// True while any outage holds the target down.

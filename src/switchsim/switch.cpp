@@ -34,6 +34,13 @@ void Switch::register_metrics() {
   reg.gauge(comp, "buffer_shared_hwm_bytes", [this] {
     return static_cast<double>(buffer_.shared_used_hwm().count());
   });
+  reg.gauge(comp, "committed_epoch", [this] {
+    return static_cast<double>(rules_.committed_epoch());
+  });
+  reg.gauge(comp, "epochs_committed",
+            [this] { return static_cast<double>(epochs_committed_); });
+  reg.gauge(comp, "epochs_aborted",
+            [this] { return static_cast<double>(epochs_aborted_); });
   for (int port = 0; port < num_ports(); ++port) {
     const std::string prefix = "port" + std::to_string(port);
     reg.gauge(comp, prefix + ".drops", [this, port] {
@@ -68,7 +75,99 @@ void Switch::set_online(bool online) {
   PLANCK_TRACE(sim_, "switch." + name_, online ? "online" : "offline");
   if (!online) {
     for (int port = 0; port < num_ports(); ++port) flush_queue(port);
+    // A crash loses everything held in DRAM: the staged (uncommitted)
+    // program, and the controller's soft-state 5-tuple reroutes. The MAC
+    // program is config restored from flash, so it survives — which is why
+    // a recovered switch must be re-synced to the current epoch
+    // (Controller::resync_switch) before it can carry rerouted flows.
+    rules_.discard_staging();
+    staged_pending_installs_ = 0;
+    commit_requested_ = false;
+    rules_.clear_flow_rules();
   }
+}
+
+// --- epoch'd control plane (DESIGN.md §10) --------------------------------
+
+bool Switch::stage_epoch(std::uint64_t epoch) {
+  if (!online_) return false;
+  const std::uint64_t open_before = rules_.staged_epoch();
+  if (!rules_.begin_staging(epoch)) return false;
+  if (open_before != epoch) {
+    // Freshly opened program (possibly superseding an older staged one,
+    // whose in-flight installs are now no-ops — they check the staged
+    // epoch before landing).
+    staged_pending_installs_ = 0;
+    commit_requested_ = false;
+    PLANCK_TRACE_ARGS(sim_, "switch." + name_, "epoch_stage",
+                      obs::argf("\"epoch\":%llu",
+                                static_cast<unsigned long long>(epoch)));
+  }
+  return true;
+}
+
+bool Switch::stage_reroute(std::uint64_t epoch, const net::FlowKey& key,
+                           const RuleActions& actions,
+                           sim::Duration install_latency) {
+  if (!stage_epoch(epoch)) return false;
+  ++staged_pending_installs_;
+  sim_.schedule(install_latency, [this, epoch, key, actions] {
+    if (!online_ || rules_.staged_epoch() != epoch) return;  // program gone
+    rules_.stage_flow_rule(epoch, key, actions);
+    if (--staged_pending_installs_ == 0 && commit_requested_) {
+      finish_commit(epoch);
+    }
+  });
+  return true;
+}
+
+bool Switch::stage_flow_erase(std::uint64_t epoch, const net::FlowKey& key,
+                              sim::Duration install_latency) {
+  if (!stage_epoch(epoch)) return false;
+  ++staged_pending_installs_;
+  sim_.schedule(install_latency, [this, epoch, key] {
+    if (!online_ || rules_.staged_epoch() != epoch) return;
+    rules_.stage_flow_erase(epoch, key);
+    if (--staged_pending_installs_ == 0 && commit_requested_) {
+      finish_commit(epoch);
+    }
+  });
+  return true;
+}
+
+bool Switch::commit_epoch(std::uint64_t epoch) {
+  if (!online_) return false;
+  if (rules_.committed_epoch() == epoch) return true;  // duplicate delivery
+  if (!rules_.staging() || rules_.staged_epoch() != epoch) return false;
+  if (staged_pending_installs_ > 0) {
+    // Commit RPC outran the TCAM writes: remember it and flip when the
+    // last install lands — the bank never goes live half-written.
+    commit_requested_ = true;
+    return true;
+  }
+  return finish_commit(epoch);
+}
+
+bool Switch::finish_commit(std::uint64_t epoch) {
+  if (!rules_.commit_staged(epoch)) return false;
+  commit_requested_ = false;
+  ++epochs_committed_;
+  PLANCK_TRACE_ARGS(sim_, "switch." + name_, "epoch_commit",
+                    obs::argf("\"epoch\":%llu",
+                              static_cast<unsigned long long>(epoch)));
+  return true;
+}
+
+bool Switch::abort_epoch(std::uint64_t epoch) {
+  if (!online_) return false;
+  if (!rules_.abort_staged(epoch)) return false;
+  staged_pending_installs_ = 0;
+  commit_requested_ = false;
+  ++epochs_aborted_;
+  PLANCK_TRACE_ARGS(sim_, "switch." + name_, "epoch_abort",
+                    obs::argf("\"epoch\":%llu",
+                              static_cast<unsigned long long>(epoch)));
+  return true;
 }
 
 void Switch::flush_queue(int port) {

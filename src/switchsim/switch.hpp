@@ -103,6 +103,33 @@ class Switch : public net::Node {
   RuleTable& rules() { return rules_; }
   const RuleTable& rules() const { return rules_; }
 
+  // --- epoch'd control plane (DESIGN.md §10) ----------------------------
+  /// Opens (or re-opens, idempotently) staging for `epoch`'s route
+  /// program. Returns false while offline or when the program is stale.
+  bool stage_epoch(std::uint64_t epoch);
+  /// Stages a 5-tuple reroute rule into `epoch`'s program. The rule lands
+  /// in the staging bank only after `install_latency` (the TCAM write);
+  /// a commit that arrives earlier is deferred until every pending install
+  /// of the program has landed, so a half-written bank never flips live.
+  bool stage_reroute(std::uint64_t epoch, const net::FlowKey& key,
+                     const RuleActions& actions, sim::Duration install_latency);
+  /// Stages removal of a 5-tuple rule (epoch-manager reconciliation of a
+  /// stale reroute) under the same install-latency model.
+  bool stage_flow_erase(std::uint64_t epoch, const net::FlowKey& key,
+                        sim::Duration install_latency);
+  /// Commit RPC: flips the staged program live (atomically, both tables at
+  /// once), deferred past any pending installs. Returns false — no ack, so
+  /// the controller's RPC retries and eventually falls back to last-good —
+  /// while offline or when `epoch` is not the staged program.
+  bool commit_epoch(std::uint64_t epoch);
+  /// Failsafe abort of a staged-but-uncommitted program.
+  bool abort_epoch(std::uint64_t epoch);
+
+  std::uint64_t committed_epoch() const { return rules_.committed_epoch(); }
+  /// Programs flipped live / discarded before commit, for the benches.
+  std::uint64_t epochs_committed() const { return epochs_committed_; }
+  std::uint64_t epochs_aborted() const { return epochs_aborted_; }
+
   /// Enables mirroring of all forwarded traffic to `monitor_port`
   /// (-1 disables). Applies the monitor buffer cap to that port.
   void set_mirroring(int monitor_port);
@@ -178,6 +205,9 @@ class Switch : public net::Node {
   /// Resolves the output port and applies rewrites. Returns -1 on miss.
   int route(net::Packet& packet);
 
+  /// Performs the deferred-or-immediate flip of the staged program.
+  bool finish_commit(std::uint64_t epoch);
+
   /// Registers this switch's gauges with the telemetry plane, if one is
   /// installed on the simulation (DESIGN.md §9).
   void register_metrics();
@@ -197,6 +227,13 @@ class Switch : public net::Node {
   RuleTable rules_;
   int monitor_port_ = -1;
   bool online_ = true;
+  /// Staged-bank installs still in their TCAM-write latency window, and
+  /// whether a commit RPC already arrived for the staged program (the flip
+  /// then happens when the last install lands).
+  int staged_pending_installs_ = 0;
+  bool commit_requested_ = false;
+  std::uint64_t epochs_committed_ = 0;
+  std::uint64_t epochs_aborted_ = 0;
   PortStatusHandler port_status_handler_;
   std::uint64_t fault_drops_ = 0;
 

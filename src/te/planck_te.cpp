@@ -127,7 +127,8 @@ void PlanckTe::greedy_route_flow(KnownFlow& flow, bool failover) {
     PLANCK_TRACE_ARGS(sim_, "te", failover ? "failover" : "reroute",
                       obs::argf("\"src_host\":%d,\"dst_host\":%d,\"tree\":%d",
                                 flow.src_host, flow.dst_host, best_tree));
-    controller_.reroute_flow(flow.key, best_tree, config_.mechanism);
+    flow.last_epoch =
+        controller_.reroute_flow(flow.key, best_tree, config_.mechanism);
   }
 }
 

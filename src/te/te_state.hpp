@@ -24,6 +24,10 @@ struct KnownFlow {
   /// When this flow was last rerouted; -1 if never. Used to ignore stale
   /// notifications that predate an in-flight reroute.
   sim::Time last_reroute = -1;
+  /// Route-program epoch of the last reroute this application issued
+  /// (DESIGN.md §10); 0 if never. Lets the TE correlate its decision with
+  /// the controller's commit/fallback bookkeeping.
+  std::uint64_t last_epoch = 0;
 };
 
 /// The TE application's view of the network (Algorithm 1's `net`): known

@@ -98,6 +98,7 @@ ALL_CHECKS = [
     "raw-unit-field",
     "unit-mixing",
     "unpaired-enqueue",
+    "bank-swap",
     "stale-allowance",
 ]
 
@@ -123,6 +124,9 @@ NAMED_CONVERSIONS = ["to_bits", "to_bytes", "to_rate_estimate", "per_second",
 # the check does not apply.
 PATH_EXEMPTIONS = {
     "wall-clock": ["src/sim/random.hpp", "bench/"],
+    # The one sanctioned flip site: RuleTable::commit_staged (the epoch
+    # commit path, DESIGN.md section 10).
+    "bank-swap": ["src/switchsim/rule_table.hpp"],
 }
 
 SUPPRESS_RE = re.compile(r"planck-lint:\s*allow(-file)?\s*\(([^)]*)\)")
@@ -762,6 +766,32 @@ def check_unit_mixing(sf, findings):
 
 
 # --------------------------------------------------------------------------
+# Check: bank-swap
+# --------------------------------------------------------------------------
+
+# Qualified call sites only (obj.swap_banks() / p->swap_banks()): the
+# unqualified call and the declaration live in rule_table.hpp, which is
+# path-exempted as the one sanctioned flip site.
+BANK_SWAP_RE = re.compile(r"(?:\.|->)\s*swap_banks\s*\(")
+
+
+def check_bank_swap(sf, findings):
+    """RuleTable's bank flip is what makes a route-program epoch atomic:
+    the staged bank goes live all-at-once, only after the controller's
+    commit RPC is acked (DESIGN.md section 10). The flip primitive may
+    therefore only be reached through RuleTable::commit_staged in
+    src/switchsim/rule_table.hpp (path-exempted above); any other caller
+    could put a partially-installed program on the data path."""
+    for m in BANK_SWAP_RE.finditer(sf.code):
+        lineno = line_of(sf.code, m.start())
+        findings.append(Finding(
+            sf.path, lineno, "bank-swap",
+            "RuleTable bank flips are reserved to the epoch commit path "
+            "(RuleTable::commit_staged); stage rules and commit the epoch "
+            "instead of swapping banks directly"))
+
+
+# --------------------------------------------------------------------------
 # Check: unpaired-enqueue
 # --------------------------------------------------------------------------
 
@@ -847,6 +877,7 @@ def run_checks(root, paths, checks):
         "trace-wall-clock": check_trace_wall_clock,
         "raw-unit-field": check_raw_unit_field,
         "unit-mixing": check_unit_mixing,
+        "bank-swap": check_bank_swap,
     }
     for sf in files:
         for check, fn in per_file_checks.items():

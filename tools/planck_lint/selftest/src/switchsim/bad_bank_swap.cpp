@@ -1,0 +1,22 @@
+// Fixture: RuleTable bank flips outside the epoch commit path. The flip
+// primitive is reserved to RuleTable::commit_staged (DESIGN.md section
+// 10); a direct swap could put a half-installed route program on the data
+// path.
+
+namespace planck::switchsim {
+
+struct RuleTable {
+  void swap_banks();
+  bool commit_staged(unsigned long long epoch);
+};
+
+void hotfix_route_program(RuleTable& rules) {
+  // "Just flip it, the rules are probably all in by now."
+  rules.swap_banks();  // EXPECT-LINT: bank-swap
+}
+
+void proper_route_program(RuleTable& rules) {
+  rules.commit_staged(7);  // fine: the commit path owns the flip
+}
+
+}  // namespace planck::switchsim
