@@ -132,8 +132,9 @@ double run_targeted_failsafe(CellResult& out) {
 
   const net::FlowKey key{net::host_ip(0), net::host_ip(15), 10000, 5001,
                          net::Protocol::kTcp};
-  const int ingress = graph.switch_node(net::fat_tree::edge_switch_index(
-      net::fat_tree::pod_of_host(0), net::fat_tree::edge_of_host(0)));
+  const net::TopologyShape& shape = graph.shape();
+  const int ingress = graph.switch_node(
+      shape.edge_switch_index(shape.pod_of_host(0), shape.edge_of_host(0)));
 
   // An acked rule first, so recovery has state to re-sync...
   ctrl.reroute_flow(key, 2, controller::RerouteMechanism::kOpenFlow);

@@ -89,8 +89,8 @@ int main() {
       if (da / 4 == src_edge / 2) continue;  // destination in another pod
       for (int db = 0; db < 16; ++db) {
         if (db == da || db / 4 == src_edge / 2 || db / 4 == da / 4) continue;
-        if (controller::Routing::base_core(db) ==
-            controller::Routing::base_core(da)) {
+        if (controller::Routing::base_core(db, 4) ==
+            controller::Routing::base_core(da, 4)) {
           continue;  // would collide
         }
         pairs.push_back(Pair{src_edge * 2, da, src_edge * 2 + 1, db});

@@ -34,8 +34,8 @@ int main(int argc, char** argv) {
   std::printf("flows completed: %d/4\n", done);
 
   // Dump each core switch's sample ring as a pcap trace.
-  for (int c = 0; c < net::fat_tree::kNumCore; ++c) {
-    const int node = graph.switch_node(net::fat_tree::core_switch_index(c));
+  for (int c = 0; c < graph.shape().num_core; ++c) {
+    const int node = graph.switch_node(graph.shape().core_switch_index(c));
     core::Collector* collector = bed.collector_by_node(node);
     pcap::PcapWriter writer;
     for (const core::Sample& sample : collector->raw_samples()) {

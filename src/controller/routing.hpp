@@ -9,28 +9,32 @@
 namespace planck::controller {
 
 /// Offline multipath route computation (§6.2): PAST-style per-address
-/// spanning trees. On the 16-host fat-tree each core switch defines one
-/// spanning tree, giving four pre-installable paths per destination (the
-/// base tree plus three shadow-MAC trees). On a star topology there is a
-/// single trivial tree.
+/// spanning trees. On a k-ary fat-tree each core switch defines one
+/// spanning tree, giving up to (k/2)^2 pre-installable paths per
+/// destination (the base tree plus shadow-MAC trees, capped by the
+/// fabric's provisioned-trees knob). On a leaf-spine each spine defines a
+/// tree; on a star topology there is a single trivial tree.
 class Routing {
  public:
-  /// Computes all trees for `graph`. Supported graphs: make_fat_tree_16
-  /// (4 trees) and make_star (1 tree).
+  /// Computes all trees for `graph`. The graph must carry a TopologyShape
+  /// from one of the net::make_* builders (fat-tree, leaf-spine, or star);
+  /// hand-wired graphs are rejected.
   explicit Routing(const net::TopologyGraph& graph);
 
   /// Tree indices are *relative to the destination*: tree 0 (the base
   /// MAC's tree) maps to a pseudo-random core per destination, spreading
-  /// base routes the way PAST/ECMP hashing does (§6.2); trees 1..3 are the
-  /// shadow-MAC alternates on the remaining cores. The absolute core used
-  /// by (dst, tree) is (base_core(dst) + tree) % 4.
-  static int base_core(int dst_host) {
+  /// base routes the way PAST/ECMP hashing does (§6.2); trees 1..T-1 are
+  /// the shadow-MAC alternates on the remaining cores (spines, for
+  /// leaf-spine). The absolute core used by (dst, tree) is
+  /// (base_core(dst, num_cores) + tree) % num_cores.
+  static int base_core(int dst_host, int num_cores) {
     // splitmix64-style mix so consecutive hosts land on unrelated cores.
     std::uint64_t z = static_cast<std::uint64_t>(dst_host) +
                       0x9e3779b97f4a7c15ULL;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return static_cast<int>((z ^ (z >> 31)) % 4);
+    return static_cast<int>((z ^ (z >> 31)) %
+                            static_cast<std::uint64_t>(num_cores));
   }
 
   int num_trees() const { return num_trees_; }
@@ -50,12 +54,12 @@ class Routing {
 
  private:
   net::RoutePath compute_fat_tree_path(int src, int dst, int tree) const;
+  net::RoutePath compute_leaf_spine_path(int src, int dst, int tree) const;
   net::RoutePath compute_star_path(int src, int dst) const;
 
   const net::TopologyGraph& graph_;
   int num_trees_ = 1;
   int num_hosts_ = 0;
-  bool is_fat_tree_ = false;
   // paths_[ (src * num_hosts + dst) * num_trees + tree ]
   std::vector<net::RoutePath> paths_;
 };

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace planck::net {
@@ -24,6 +25,19 @@ inline constexpr MacAddress kHostMacBase = 0x0200'0000'0000ULL;
 inline constexpr MacAddress kShadowMacBase = 0x0600'0000'0000ULL;
 inline constexpr MacAddress kShadowTreeStride = 0x0001'0000'0000ULL;
 
+/// Most routing trees any fabric may provision (tree 0 + shadow trees
+/// 1..kMaxProvisionedTrees-1). Sized for the largest simulated sweep
+/// (k=8 fat-tree: (8/2)^2 = 16 trees); the shadow-MAC OUI plan has one
+/// stride per shadow tree, so decoding validates against this bound.
+inline constexpr int kMaxProvisionedTrees = 16;
+
+/// Most hosts the 10.0.(id/250).(id%250+1) address plan can encode: the
+/// third octet tops out at 255, so id < 256*250. Topology builders check
+/// this bound and refuse to construct a larger fabric (it would silently
+/// alias IPs otherwise). A k=62 fat-tree (the paper's §9.1 64-port
+/// datapoint, 59,582 hosts) still fits.
+inline constexpr int kMaxAddressableHosts = 64000;
+
 /// MAC of host `host_id` on routing tree `tree`. Tree 0 is the base tree
 /// (the host's real MAC); trees >= 1 are shadow MACs.
 constexpr MacAddress host_mac(int host_id, int tree = 0) {
@@ -34,43 +48,53 @@ constexpr MacAddress host_mac(int host_id, int tree = 0) {
 }
 
 /// True if `mac` is a shadow MAC; if so also yields tree (>=1) and host id.
+/// Both the tree index and the host id are validated against the
+/// provisioned bounds — a stray 48-bit value whose stride offset happens
+/// to land past kMaxAddressableHosts is *not* a shadow MAC.
 constexpr bool is_shadow_mac(MacAddress mac, int* tree = nullptr,
                              int* host_id = nullptr) {
   if (mac < kShadowMacBase) return false;
   const MacAddress off = mac - kShadowMacBase;
   const auto t = static_cast<int>(off / kShadowTreeStride);
-  if (t >= 8) return false;  // more trees than any topology here provisions
+  if (t >= kMaxProvisionedTrees - 1) return false;  // shadow trees 1..max-1
+  const MacAddress host = off % kShadowTreeStride;
+  if (host >= static_cast<MacAddress>(kMaxAddressableHosts)) return false;
   if (tree != nullptr) *tree = t + 1;
-  if (host_id != nullptr) {
-    *host_id = static_cast<int>(off % kShadowTreeStride);
-  }
+  if (host_id != nullptr) *host_id = static_cast<int>(host);
   return true;
 }
 
-/// Host id encoded in a base (non-shadow) host MAC, or -1.
+/// Host id encoded in a host MAC (base or shadow), or -1. Base MACs are
+/// bounded by kMaxAddressableHosts, symmetrically with the shadow decode.
 constexpr int host_id_of_mac(MacAddress mac) {
-  if (is_shadow_mac(mac)) {
-    int id = -1;
-    int tree = 0;
-    is_shadow_mac(mac, &tree, &id);
-    return id;
-  }
-  if (mac >= kHostMacBase && mac < kHostMacBase + 0x1'0000'0000ULL) {
+  int id = -1;
+  int tree = 0;
+  if (is_shadow_mac(mac, &tree, &id)) return id;
+  if (mac >= kHostMacBase &&
+      mac < kHostMacBase + static_cast<MacAddress>(kMaxAddressableHosts)) {
     return static_cast<int>(mac - kHostMacBase);
   }
   return -1;
 }
 
 /// IPv4 address of host `host_id`: 10.0.(id/250).(id%250 + 1) — 250 hosts
-/// per /24 so the last octet never reaches 255.
+/// per /24 so the last octet never reaches 255. Ids at or past
+/// kMaxAddressableHosts would overflow the third octet and alias another
+/// host's address, so they throw instead.
 constexpr IpAddress host_ip(int host_id) {
+  if (host_id < 0 || host_id >= kMaxAddressableHosts) {
+    throw std::out_of_range("host_ip: host id outside the 10.0.x.y plan");
+  }
   return (10u << 24) | (static_cast<IpAddress>(host_id / 250) << 8) |
          (static_cast<IpAddress>(host_id % 250) + 1);
 }
 
-/// Host id for an IP produced by host_ip(), or -1.
+/// Host id for an IP produced by host_ip(), or -1. The plan only ever
+/// emits 10.0.x.y, so a nonzero second octet is rejected rather than
+/// decoded as an alias of the 10.0/16 block.
 constexpr int host_id_of_ip(IpAddress ip) {
   if ((ip >> 24) != 10u) return -1;
+  if (((ip >> 16) & 0xffu) != 0u) return -1;
   const int third = static_cast<int>((ip >> 8) & 0xff);
   const int fourth = static_cast<int>(ip & 0xff);
   if (fourth == 0 || fourth > 250) return -1;

@@ -27,6 +27,87 @@ struct LinkSpec {
   sim::Duration propagation = sim::microseconds(1);
 };
 
+/// What family of fabric a TopologyGraph was built as. Hand-wired graphs
+/// stay kUnknown; routing only understands the named fabrics.
+enum class FabricKind : std::uint8_t { kUnknown, kFatTree, kLeafSpine, kStar };
+
+/// Structural facts about a built fabric: counts, tier geometry, and the
+/// index/coordinate conventions the builder used. This is the descriptor
+/// every consumer (routing, testbed, TE, benches, tests) reads instead of
+/// hard-coded fabric constants — the graph carries its own shape.
+struct TopologyShape {
+  FabricKind kind = FabricKind::kUnknown;
+  int num_hosts = 0;
+  int num_switches = 0;
+  /// How many spanning trees routing provisions for this fabric: tree 0 is
+  /// the base tree, trees 1..provisioned_trees-1 are shadow trees. Builders
+  /// clamp this to min(max_trees(), addresses' kMaxProvisionedTrees).
+  int provisioned_trees = 1;
+
+  // --- fat-tree geometry (kind == kFatTree) ---
+  int k = 0;              ///< switch radix; pods = k, cores = (k/2)^2
+  int num_pods = 0;
+  int edge_per_pod = 0;   ///< k/2
+  int agg_per_pod = 0;    ///< k/2
+  int hosts_per_edge = 0; ///< k/2
+  int num_core = 0;       ///< (k/2)^2
+
+  // --- leaf-spine geometry (kind == kLeafSpine) ---
+  int num_leaves = 0;
+  int num_spines = 0;
+  int hosts_per_leaf = 0;
+
+  /// Distinct spanning trees this fabric can support (one per core for a
+  /// fat-tree, one per spine for leaf-spine, 1 for a star).
+  int max_trees() const {
+    switch (kind) {
+      case FabricKind::kFatTree:   return num_core;
+      case FabricKind::kLeafSpine: return num_spines;
+      case FabricKind::kStar:      return 1;
+      case FabricKind::kUnknown:   return 0;
+    }
+    return 0;
+  }
+
+  // Fat-tree coordinates. Host ids are dense, pod-major:
+  //   host = pod*(k/2)^2 + edge*(k/2) + leaf.
+  int hosts_per_pod() const { return hosts_per_edge * edge_per_pod; }
+  int pod_of_host(int host) const { return host / hosts_per_pod(); }
+  int edge_of_host(int host) const {
+    return (host % hosts_per_pod()) / hosts_per_edge;
+  }
+  /// Down-facing edge-switch port (and position under the edge) of a host.
+  int leaf_of_host(int host) const { return host % hosts_per_edge; }
+
+  // Fat-tree switch indices (dense, in add order): edges first (pod-major),
+  // then aggs (pod-major), then cores.
+  int edge_switch_index(int pod, int e) const {
+    return pod * edge_per_pod + e;
+  }
+  int agg_switch_index(int pod, int a) const {
+    return num_pods * edge_per_pod + pod * agg_per_pod + a;
+  }
+  int core_switch_index(int c) const {
+    return num_pods * (edge_per_pod + agg_per_pod) + c;
+  }
+  /// Aggregation switch index within a pod that reaches core c.
+  int agg_for_core(int c) const { return c / (k / 2); }
+  /// Agg uplink port that reaches core c.
+  int agg_port_for_core(int c) const { return k / 2 + (c % (k / 2)); }
+  /// Edge uplink port that reaches agg a of the pod.
+  int edge_port_for_agg(int a) const { return hosts_per_edge + a; }
+
+  // Leaf-spine coordinates. Host ids: host = leaf*hosts_per_leaf + i.
+  // Switch indices: leaves first, then spines. Leaf ports
+  // 0..hosts_per_leaf-1 face down, hosts_per_leaf.. face spines; spine s
+  // port l connects to leaf l.
+  int leaf_of_ls_host(int host) const { return host / hosts_per_leaf; }
+  int leaf_port_of_ls_host(int host) const { return host % hosts_per_leaf; }
+  int leaf_switch_index(int leaf) const { return leaf; }
+  int spine_switch_index(int s) const { return num_leaves + s; }
+  int leaf_port_for_spine(int s) const { return hosts_per_leaf + s; }
+};
+
 /// Abstract topology: hosts and switches connected by bidirectional cables.
 /// This is the controller's and routing code's view of the network; the
 /// testbed assembler instantiates concrete Switch/Host objects from it.
@@ -78,6 +159,11 @@ class TopologyGraph {
   const std::vector<int>& hosts() const { return hosts_; }
   const std::vector<int>& switches() const { return switches_; }
 
+  /// Structural descriptor set by the builder; kUnknown for hand-wired
+  /// graphs.
+  const TopologyShape& shape() const { return shape_; }
+  void set_shape(const TopologyShape& shape) { shape_ = shape; }
+
  private:
   struct NodeInfo {
     NodeKind kind;
@@ -91,22 +177,56 @@ class TopologyGraph {
   std::vector<NodeInfo> nodes_;
   std::vector<int> hosts_;
   std::vector<int> switches_;
+  TopologyShape shape_;
 };
 
-/// The paper's testbed topology (§7.1): a 16-host, 3-tier fat-tree built
-/// from 4-port (logical) switches — 4 pods of {2 edge, 2 aggregation}
-/// switches plus 4 core switches. Port conventions:
-///   edge:  0-1 down to hosts, 2-3 up to agg 0/1 of the pod
-///   agg:   0-1 down to edge 0/1, 2-3 up to core (agg a reaches cores 2a,
-///          2a+1 via ports 2, 3)
+/// 3-tier k-ary fat-tree (k even, >= 2): k pods of {k/2 edge, k/2 agg}
+/// switches plus (k/2)^2 cores, k^3/4 hosts. Port conventions generalize
+/// the paper's k=4 testbed:
+///   edge:  0..k/2-1 down to hosts, k/2..k-1 up to aggs (port k/2+a -> agg a)
+///   agg:   0..k/2-1 down to edges (port e -> edge e), k/2..k-1 up to core
+///          (agg a reaches cores a*(k/2)..a*(k/2)+k/2-1)
 ///   core:  port p connects to pod p
-/// Host ids: pod*4 + edge*2 + leaf.
+/// Host ids: pod*(k/2)^2 + edge*(k/2) + leaf.
+/// `provisioned_trees` caps how many routing trees the fabric advertises
+/// (0 = as many as the fabric supports, clamped to kMaxProvisionedTrees).
+/// Throws std::invalid_argument for bad k and std::length_error when the
+/// host count exceeds kMaxAddressableHosts.
+TopologyGraph make_fat_tree(int k, const LinkSpec& spec,
+                            int provisioned_trees = 0);
+
+/// Same, with distinct cables for host-facing links (host_spec) and the
+/// switch-to-switch fabric (fabric_spec).
+TopologyGraph make_fat_tree(int k, const LinkSpec& host_spec,
+                            const LinkSpec& fabric_spec,
+                            int provisioned_trees = 0);
+
+/// 2-tier leaf-spine: `leaves` leaf switches each with `hosts_per_leaf`
+/// hosts, fully meshed to `spines` spine switches. Leaf ports
+/// 0..hosts_per_leaf-1 face down, hosts_per_leaf.. face spines; spine s
+/// port l connects to leaf l. Host ids: leaf*hosts_per_leaf + i.
+TopologyGraph make_leaf_spine(int leaves, int spines, int hosts_per_leaf,
+                              const LinkSpec& spec,
+                              int provisioned_trees = 0);
+
+/// Same, with distinct host-facing and fabric cables.
+TopologyGraph make_leaf_spine(int leaves, int spines, int hosts_per_leaf,
+                              const LinkSpec& host_spec,
+                              const LinkSpec& fabric_spec,
+                              int provisioned_trees = 0);
+
+/// The paper's testbed topology (§7.1): the k=4 instance of
+/// make_fat_tree — 16 hosts, 4 pods of {2 edge, 2 agg} switches plus 4
+/// cores. Kept as a compatibility shim; new code should call
+/// make_fat_tree(4, spec).
 TopologyGraph make_fat_tree_16(const LinkSpec& spec);
 
 /// Non-blocking "Optimal" topology (§7.1): all hosts on one big switch.
 TopologyGraph make_star(int num_hosts, const LinkSpec& spec);
 
-/// Structural facts about make_fat_tree_16 used by routing and tests.
+/// Legacy structural constants for the 16-host testbed, expressed via the
+/// k=4 shape. Compatibility shim only — consumers should read
+/// graph.shape() instead.
 namespace fat_tree {
 inline constexpr int kNumHosts = 16;
 inline constexpr int kNumPods = 4;

@@ -38,59 +38,18 @@ const char* workload_name(WorkloadKind kind) {
 }
 
 net::TopologyGraph make_experiment_graph(const ExperimentConfig& config) {
-  net::LinkSpec spec;
-  spec.rate = config.link_rate;
+  const int k = config.fat_tree_k;
+  net::LinkSpec host_spec;
+  host_spec.rate = config.link_rate;
+  host_spec.propagation = config.host_link_propagation;
   if (config.scheme == Scheme::kOptimal) {
-    spec.propagation = config.host_link_propagation;
-    return net::make_star(net::fat_tree::kNumHosts, spec);
+    return net::make_star(k * (k / 2) * (k / 2), host_spec);
   }
-  // Fat-tree with distinct host vs inter-switch propagation.
-  spec.propagation = config.switch_link_propagation;
-  net::TopologyGraph g = make_fat_tree_16(spec);
-  // Host links carry the host-latency stand-in; rebuild them is not
-  // possible post hoc, so make_fat_tree_16 used switch propagation and we
-  // accept the small difference for inter-switch links only when the two
-  // values differ. To honour the host value exactly we build manually:
-  if (config.host_link_propagation != config.switch_link_propagation) {
-    net::TopologyGraph g2;
-    net::LinkSpec host_spec = spec;
-    host_spec.propagation = config.host_link_propagation;
-    // Rebuild: same construction as make_fat_tree_16 but with per-tier
-    // specs.
-    using namespace net::fat_tree;
-    int hosts[kNumHosts];
-    for (int h = 0; h < kNumHosts; ++h) hosts[h] = g2.add_host();
-    int edges[kNumPods][kEdgePerPod];
-    int aggs[kNumPods][kAggPerPod];
-    int cores[kNumCore];
-    for (int p = 0; p < kNumPods; ++p) {
-      for (int e = 0; e < kEdgePerPod; ++e) edges[p][e] = g2.add_switch(4);
-    }
-    for (int p = 0; p < kNumPods; ++p) {
-      for (int a = 0; a < kAggPerPod; ++a) aggs[p][a] = g2.add_switch(4);
-    }
-    for (int c = 0; c < kNumCore; ++c) cores[c] = g2.add_switch(kNumPods);
-    for (int h = 0; h < kNumHosts; ++h) {
-      g2.connect({hosts[h], 0},
-                 {edges[pod_of_host(h)][edge_of_host(h)], h % 2}, host_spec);
-    }
-    for (int p = 0; p < kNumPods; ++p) {
-      for (int e = 0; e < kEdgePerPod; ++e) {
-        for (int a = 0; a < kAggPerPod; ++a) {
-          g2.connect({edges[p][e], 2 + a}, {aggs[p][a], e}, spec);
-        }
-      }
-    }
-    for (int p = 0; p < kNumPods; ++p) {
-      for (int a = 0; a < kAggPerPod; ++a) {
-        for (int j = 0; j < 2; ++j) {
-          g2.connect({aggs[p][a], 2 + j}, {cores[2 * a + j], p}, spec);
-        }
-      }
-    }
-    return g2;
-  }
-  return g;
+  // Fat-tree with distinct host vs inter-switch propagation: host links
+  // carry the host-latency stand-in, the fabric carries cable latency.
+  net::LinkSpec fabric_spec = host_spec;
+  fabric_spec.propagation = config.switch_link_propagation;
+  return net::make_fat_tree(k, host_spec, fabric_spec);
 }
 
 namespace {

@@ -41,6 +41,10 @@ struct ExperimentConfig {
   int shuffle_concurrency = 2;
   std::uint64_t seed = 1;
 
+  /// Fat-tree radix for the simulated fabric (k^3/4 hosts). The Optimal
+  /// star is sized to the same host count so schemes stay comparable.
+  int fat_tree_k = 4;
+
   sim::BitsPerSec link_rate = sim::gigabits_per_sec(10);
   /// Host-link propagation stands in for end-host kernel/NIC latency so
   /// the base RTT matches the paper's ~180-250 us testbed (§5.4).

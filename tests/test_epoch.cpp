@@ -195,8 +195,9 @@ struct FatTree {
         bed(sim, graph, cfg) {}
 
   int edge_node_of_host(int host) const {
-    return graph.switch_node(net::fat_tree::edge_switch_index(
-        net::fat_tree::pod_of_host(host), net::fat_tree::edge_of_host(host)));
+    const net::TopologyShape& shape = graph.shape();
+    return graph.switch_node(shape.edge_switch_index(
+        shape.pod_of_host(host), shape.edge_of_host(host)));
   }
 
   sim::Simulation sim;
@@ -323,7 +324,7 @@ TEST(EpochControl, StaleProbeVerdictsNeverFlapARecoveredSwitch) {
   // alive again. Without round sequencing those slow "dead" verdicts land
   // last and flap a healthy switch.
   const int core_node =
-      f.graph.switch_node(net::fat_tree::core_switch_index(0));
+      f.graph.switch_node(f.graph.shape().core_switch_index(0));
   inj.schedule_switch_outage(sim::microseconds(2500), sim::microseconds(7900),
                              core_node);
 

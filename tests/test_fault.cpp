@@ -234,7 +234,7 @@ TEST(Fault, HeartbeatDetectsCrashedSwitchAndRecovery) {
       [&](int node, bool alive) { status.emplace_back(node, alive); });
 
   const int core_node =
-      f.graph.switch_node(net::fat_tree::core_switch_index(0));
+      f.graph.switch_node(f.graph.shape().core_switch_index(0));
   inj.schedule_switch_outage(sim::milliseconds(1), sim::milliseconds(19),
                              core_node);
 
@@ -255,8 +255,9 @@ TEST(Fault, HeartbeatDetectsCrashedSwitchAndRecovery) {
 TEST(Fault, CrashedSwitchForwardsNothing) {
   FatTree f;
   fault::FaultInjector inj(f.sim, f.bed, 1);
-  const int edge_node = f.graph.switch_node(net::fat_tree::edge_switch_index(
-      net::fat_tree::pod_of_host(0), net::fat_tree::edge_of_host(0)));
+  const net::TopologyShape& shape = f.graph.shape();
+  const int edge_node = f.graph.switch_node(
+      shape.edge_switch_index(shape.pod_of_host(0), shape.edge_of_host(0)));
 
   tcp::FlowStats stats;
   f.bed.host(0)->start_flow(net::host_ip(4), 5001, 4 * 1024 * 1024,

@@ -61,6 +61,55 @@ TEST(Addresses, HostIpRoundTrip) {
   EXPECT_EQ(host_id_of_ip((192u << 24) | 1), -1);
 }
 
+TEST(Addresses, ShadowMacRejectsOutOfRangeHostIds) {
+  // A stray 48-bit value inside the shadow OUI whose stride offset is not
+  // a provisioned host id must not decode as a shadow MAC.
+  const MacAddress bogus_host =
+      kShadowMacBase + static_cast<MacAddress>(kMaxAddressableHosts);
+  EXPECT_FALSE(is_shadow_mac(bogus_host));
+  EXPECT_EQ(host_id_of_mac(bogus_host), -1);
+  const MacAddress last_valid =
+      kShadowMacBase + static_cast<MacAddress>(kMaxAddressableHosts - 1);
+  int tree = 0;
+  int id = -1;
+  ASSERT_TRUE(is_shadow_mac(last_valid, &tree, &id));
+  EXPECT_EQ(tree, 1);
+  EXPECT_EQ(id, kMaxAddressableHosts - 1);
+}
+
+TEST(Addresses, ShadowMacRejectsUnprovisionedTrees) {
+  // Shadow trees run 1..kMaxProvisionedTrees-1; the stride one past the
+  // last provisioned tree is not a shadow MAC.
+  EXPECT_TRUE(is_shadow_mac(host_mac(0, kMaxProvisionedTrees - 1)));
+  const MacAddress past = kShadowMacBase +
+                          static_cast<MacAddress>(kMaxProvisionedTrees - 1) *
+                              kShadowTreeStride;
+  EXPECT_FALSE(is_shadow_mac(past));
+}
+
+TEST(Addresses, BaseMacBoundIsSymmetric) {
+  EXPECT_EQ(host_id_of_mac(host_mac(kMaxAddressableHosts - 1)),
+            kMaxAddressableHosts - 1);
+  EXPECT_EQ(host_id_of_mac(kHostMacBase +
+                           static_cast<MacAddress>(kMaxAddressableHosts)),
+            -1);
+}
+
+TEST(Addresses, HostIpThrowsPastAddressablePlan) {
+  EXPECT_NO_THROW(host_ip(kMaxAddressableHosts - 1));
+  EXPECT_THROW(host_ip(kMaxAddressableHosts), std::out_of_range);
+  EXPECT_THROW(host_ip(-1), std::out_of_range);
+}
+
+TEST(Addresses, HostIdOfIpRejectsForeignSecondOctet) {
+  // 10.1.0.1 is outside the plan's 10.0/16 block — previously it decoded
+  // as an alias of 10.0.0.1.
+  const IpAddress foreign = (10u << 24) | (1u << 16) | 1u;
+  EXPECT_EQ(host_id_of_ip(foreign), -1);
+  EXPECT_EQ(host_id_of_ip(host_ip(kMaxAddressableHosts - 1)),
+            kMaxAddressableHosts - 1);
+}
+
 TEST(Addresses, Formatting) {
   EXPECT_EQ(mac_to_string(host_mac(1)), "02:00:00:00:00:01");
   EXPECT_EQ(ip_to_string(host_ip(0)), "10.0.0.1");
@@ -262,29 +311,113 @@ TEST(Topology, FatTreeWiringIsSymmetric) {
 
 TEST(Topology, FatTreeHostPlacement) {
   const TopologyGraph g = make_fat_tree_16(LinkSpec{});
-  using namespace fat_tree;
-  for (int h = 0; h < kNumHosts; ++h) {
+  const TopologyShape& sh = g.shape();
+  for (int h = 0; h < g.num_hosts(); ++h) {
     const PortRef up = g.peer(g.host_node(h), 0);
-    const int expected_edge =
-        g.switch_node(edge_switch_index(pod_of_host(h), edge_of_host(h)));
+    const int expected_edge = g.switch_node(
+        sh.edge_switch_index(sh.pod_of_host(h), sh.edge_of_host(h)));
     EXPECT_EQ(up.node, expected_edge);
-    EXPECT_EQ(up.port, h % 2);
+    EXPECT_EQ(up.port, sh.leaf_of_host(h));
   }
 }
 
 TEST(Topology, FatTreeCoreReachesEveryPod) {
   const TopologyGraph g = make_fat_tree_16(LinkSpec{});
-  using namespace fat_tree;
-  for (int c = 0; c < kNumCore; ++c) {
-    const int core = g.switch_node(core_switch_index(c));
-    for (int p = 0; p < kNumPods; ++p) {
+  const TopologyShape& sh = g.shape();
+  for (int c = 0; c < sh.num_core; ++c) {
+    const int core = g.switch_node(sh.core_switch_index(c));
+    for (int p = 0; p < sh.num_pods; ++p) {
       const PortRef peer = g.peer(core, p);
       const int expected_agg =
-          g.switch_node(agg_switch_index(p, agg_for_core(c)));
+          g.switch_node(sh.agg_switch_index(p, sh.agg_for_core(c)));
       EXPECT_EQ(peer.node, expected_agg);
-      EXPECT_EQ(peer.port, agg_port_for_core(c));
+      EXPECT_EQ(peer.port, sh.agg_port_for_core(c));
     }
   }
+}
+
+TEST(Topology, ShapeDescribesLegacyFatTree) {
+  // The k=4 shim must advertise exactly the 16-host testbed's structure.
+  const TopologyGraph g = make_fat_tree_16(LinkSpec{});
+  const TopologyShape& sh = g.shape();
+  EXPECT_EQ(sh.kind, FabricKind::kFatTree);
+  EXPECT_EQ(sh.k, 4);
+  EXPECT_EQ(sh.num_hosts, 16);
+  EXPECT_EQ(sh.num_switches, 20);
+  EXPECT_EQ(sh.num_pods, 4);
+  EXPECT_EQ(sh.edge_per_pod, 2);
+  EXPECT_EQ(sh.agg_per_pod, 2);
+  EXPECT_EQ(sh.num_core, 4);
+  EXPECT_EQ(sh.provisioned_trees, 4);
+  EXPECT_EQ(sh.max_trees(), 4);
+  // Spot-check the index helpers against the historical dense layout.
+  EXPECT_EQ(sh.pod_of_host(13), 3);
+  EXPECT_EQ(sh.edge_of_host(13), 0);
+  EXPECT_EQ(sh.edge_switch_index(3, 1), 7);
+  EXPECT_EQ(sh.agg_switch_index(3, 1), 15);
+  EXPECT_EQ(sh.core_switch_index(2), 18);
+  EXPECT_EQ(sh.agg_for_core(2), 1);
+  EXPECT_EQ(sh.agg_port_for_core(2), 2);
+}
+
+TEST(Topology, ParametricFatTreeCounts) {
+  for (int k : {4, 6, 8}) {
+    const TopologyGraph g = make_fat_tree(k, LinkSpec{});
+    EXPECT_EQ(g.num_hosts(), k * k * k / 4);
+    EXPECT_EQ(g.num_switches(), k * k + k * k / 4);
+    for (int sw : g.switches()) {
+      for (int p = 0; p < g.num_ports(sw); ++p) {
+        ASSERT_TRUE(g.wired(sw, p)) << "k=" << k << " node " << sw;
+      }
+    }
+  }
+}
+
+TEST(Topology, FatTreeRejectsBadRadix) {
+  EXPECT_THROW(make_fat_tree(3, LinkSpec{}), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree(0, LinkSpec{}), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree(-4, LinkSpec{}), std::invalid_argument);
+}
+
+TEST(Topology, FatTreeRejectsUnaddressableScale) {
+  // k=64 would be 65,536 hosts — past the 10.0.x.y plan, so the builder
+  // must refuse rather than alias IPs.
+  EXPECT_THROW(make_fat_tree(64, LinkSpec{}), std::length_error);
+  EXPECT_THROW(make_leaf_spine(300, 4, 250, LinkSpec{}), std::length_error);
+  // The paper's §9.1 64-port datapoint (k=62, 59'582 hosts) still builds.
+  EXPECT_NO_THROW(make_fat_tree(62, LinkSpec{}));
+}
+
+TEST(Topology, LeafSpineWiring) {
+  const TopologyGraph g = make_leaf_spine(3, 2, 4, LinkSpec{});
+  const TopologyShape& sh = g.shape();
+  EXPECT_EQ(sh.kind, FabricKind::kLeafSpine);
+  EXPECT_EQ(g.num_hosts(), 12);
+  EXPECT_EQ(g.num_switches(), 5);
+  EXPECT_EQ(sh.max_trees(), 2);
+  for (int h = 0; h < g.num_hosts(); ++h) {
+    const PortRef up = g.peer(g.host_node(h), 0);
+    EXPECT_EQ(up.node,
+              g.switch_node(sh.leaf_switch_index(sh.leaf_of_ls_host(h))));
+    EXPECT_EQ(up.port, sh.leaf_port_of_ls_host(h));
+  }
+  for (int l = 0; l < sh.num_leaves; ++l) {
+    for (int s = 0; s < sh.num_spines; ++s) {
+      const PortRef peer =
+          g.peer(g.switch_node(sh.leaf_switch_index(l)),
+                 sh.leaf_port_for_spine(s));
+      EXPECT_EQ(peer.node, g.switch_node(sh.spine_switch_index(s)));
+      EXPECT_EQ(peer.port, l);
+    }
+  }
+}
+
+TEST(Topology, HandWiredGraphHasUnknownShape) {
+  TopologyGraph g;
+  g.add_host();
+  g.add_switch(1);
+  EXPECT_EQ(g.shape().kind, FabricKind::kUnknown);
+  EXPECT_EQ(g.shape().max_trees(), 0);
 }
 
 TEST(Topology, LinkSpecStored) {

@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
 #include "controller/routing.hpp"
+#include "net/addresses.hpp"
 #include "net/topology.hpp"
 
 namespace planck::controller {
@@ -121,10 +123,10 @@ TEST(Routing, TreesAreDestinationConsistent) {
 
 TEST(Routing, InterPodTreesUseDistinctCores) {
   Fixture f;
-  using namespace net::fat_tree;
+  const net::TopologyShape& shape = f.graph.shape();
   for (int s = 0; s < 16; ++s) {
     for (int d = 0; d < 16; ++d) {
-      if (pod_of_host(s) == pod_of_host(d)) continue;
+      if (shape.pod_of_host(s) == shape.pod_of_host(d)) continue;
       std::set<int> cores;
       for (int t = 0; t < 4; ++t) {
         const net::RoutePath& p = f.routing.path(s, d, t);
@@ -143,8 +145,8 @@ TEST(Routing, AdjacentTreePairsAreLinkDisjointAcrossAggGroups) {
   Fixture f;
   for (int s : {0, 3, 7, 12}) {
     for (int d : {4, 9, 15}) {
-      if (s == d || net::fat_tree::pod_of_host(s) ==
-                        net::fat_tree::pod_of_host(d)) {
+      if (s == d ||
+          f.graph.shape().pod_of_host(s) == f.graph.shape().pod_of_host(d)) {
         continue;
       }
       for (int t = 0; t < 2; ++t) {
@@ -168,7 +170,7 @@ TEST(Routing, AdjacentTreePairsAreLinkDisjointAcrossAggGroups) {
 TEST(Routing, BaseCoreSpreadsDestinations) {
   // PAST hashing: the 16 destinations should not all share one core.
   std::set<int> cores;
-  for (int d = 0; d < 16; ++d) cores.insert(Routing::base_core(d));
+  for (int d = 0; d < 16; ++d) cores.insert(Routing::base_core(d, 4));
   EXPECT_EQ(cores.size(), 4u);
 }
 
@@ -228,6 +230,188 @@ INSTANTIATE_TEST_SUITE_P(
     Pairs, RoutingPairTest,
     ::testing::Combine(::testing::Values(0, 1, 5, 10, 15),
                        ::testing::Values(0, 2, 7, 8, 14)));
+
+// ---------------------------------------------------------------------------
+// Parametric fabrics: the same PAST properties must hold at every radix,
+// not just the paper's k=4 testbed.
+// ---------------------------------------------------------------------------
+
+class FatTreeRadixTest : public ::testing::TestWithParam<int> {
+ protected:
+  FatTreeRadixTest()
+      : graph(net::make_fat_tree(GetParam(), net::LinkSpec{})),
+        routing(graph) {}
+  TopologyGraph graph;
+  Routing routing;
+};
+
+TEST_P(FatTreeRadixTest, ShapeAndTreeCount) {
+  const int k = GetParam();
+  const net::TopologyShape& sh = graph.shape();
+  EXPECT_EQ(sh.kind, net::FabricKind::kFatTree);
+  EXPECT_EQ(graph.num_hosts(), k * k * k / 4);
+  EXPECT_EQ(graph.num_switches(), k * k + k * k / 4);
+  EXPECT_EQ(routing.num_trees(),
+            std::min(k * k / 4, net::kMaxProvisionedTrees));
+}
+
+TEST_P(FatTreeRadixTest, AllPathsReachDestinationWithoutLoops) {
+  const int n = routing.num_hosts();
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      for (int t = 0; t < routing.num_trees(); ++t) {
+        const net::RoutePath& p = routing.path(s, d, t);
+        check_path_physical(graph, p);
+        std::set<int> visited;
+        for (const net::PathHop& hop : p.hops) {
+          ASSERT_TRUE(visited.insert(hop.switch_node).second)
+              << "loop at switch " << hop.switch_node << " k=" << GetParam()
+              << " s=" << s << " d=" << d << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FatTreeRadixTest, InterPodTreesUseDistinctCores) {
+  const net::TopologyShape& sh = graph.shape();
+  const int n = routing.num_hosts();
+  // Sample sources; scan all destinations so every base_core is covered.
+  for (int s = 0; s < n; s += 5) {
+    for (int d = 0; d < n; ++d) {
+      if (sh.pod_of_host(s) == sh.pod_of_host(d)) continue;
+      std::set<int> cores;
+      for (int t = 0; t < routing.num_trees(); ++t) {
+        const net::RoutePath& p = routing.path(s, d, t);
+        ASSERT_EQ(p.hops.size(), 5u);
+        cores.insert(p.hops[2].switch_node);
+      }
+      EXPECT_EQ(cores.size(),
+                static_cast<std::size_t>(routing.num_trees()))
+          << "s=" << s << " d=" << d;
+    }
+  }
+}
+
+TEST_P(FatTreeRadixTest, TreesAreDestinationConsistent) {
+  const int n = routing.num_hosts();
+  for (int d = 0; d < n; d += 3) {
+    for (int t = 0; t < routing.num_trees(); ++t) {
+      std::map<int, int> out_port_at_switch;
+      for (int s = 0; s < n; ++s) {
+        if (s == d) continue;
+        for (const net::PathHop& hop : routing.path(s, d, t).hops) {
+          const auto [it, inserted] =
+              out_port_at_switch.emplace(hop.switch_node, hop.out_port);
+          ASSERT_EQ(it->second, hop.out_port)
+              << "switch " << hop.switch_node << " d=" << d << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FatTreeRadixTest, LinksOnPathMatchesGraphWiring) {
+  const int n = routing.num_hosts();
+  for (int s = 0; s < n; s += 7) {
+    for (int d = 0; d < n; d += 3) {
+      if (s == d) continue;
+      for (int t = 0; t < routing.num_trees(); ++t) {
+        const net::RoutePath& p = routing.path(s, d, t);
+        const auto links = routing.links_on_path(p);
+        ASSERT_EQ(links.size(), p.hops.size());
+        for (std::size_t i = 0; i < links.size(); ++i) {
+          EXPECT_EQ(links[i].node, p.hops[i].switch_node);
+          EXPECT_EQ(links[i].port, p.hops[i].out_port);
+          // Every reported link must be a real, wired cable.
+          EXPECT_TRUE(graph.wired(links[i].node, links[i].port));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radix, FatTreeRadixTest, ::testing::Values(4, 6, 8));
+
+// ---------------------------------------------------------------------------
+// Leaf-spine
+// ---------------------------------------------------------------------------
+
+struct LeafSpineFixture {
+  LeafSpineFixture()
+      : graph(net::make_leaf_spine(4, 4, 4, net::LinkSpec{})),
+        routing(graph) {}
+  TopologyGraph graph;
+  Routing routing;
+};
+
+TEST(RoutingLeafSpine, ShapeAndTreeCount) {
+  LeafSpineFixture f;
+  EXPECT_EQ(f.graph.shape().kind, net::FabricKind::kLeafSpine);
+  EXPECT_EQ(f.routing.num_hosts(), 16);
+  EXPECT_EQ(f.graph.num_switches(), 8);
+  EXPECT_EQ(f.routing.num_trees(), 4);  // one tree per spine
+}
+
+TEST(RoutingLeafSpine, PathHopLengthsByLocality) {
+  LeafSpineFixture f;
+  // Same leaf: 1 hop. Different leaves: leaf-spine-leaf = 3 hops.
+  EXPECT_EQ(f.routing.path(0, 1, 0).hops.size(), 1u);
+  EXPECT_EQ(f.routing.path(0, 5, 0).hops.size(), 3u);
+}
+
+TEST(RoutingLeafSpine, AllPathsValidLoopFreeAndSpineDisjoint) {
+  LeafSpineFixture f;
+  for (int s = 0; s < 16; ++s) {
+    for (int d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      std::set<int> spines;
+      for (int t = 0; t < f.routing.num_trees(); ++t) {
+        const net::RoutePath& p = f.routing.path(s, d, t);
+        check_path_physical(f.graph, p);
+        std::set<int> visited;
+        for (const net::PathHop& hop : p.hops) {
+          ASSERT_TRUE(visited.insert(hop.switch_node).second);
+        }
+        if (p.hops.size() == 3u) spines.insert(p.hops[1].switch_node);
+      }
+      if (f.graph.shape().leaf_of_ls_host(s) !=
+          f.graph.shape().leaf_of_ls_host(d)) {
+        EXPECT_EQ(spines.size(), 4u) << "s=" << s << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(RoutingLeafSpine, TreesAreDestinationConsistent) {
+  LeafSpineFixture f;
+  for (int d = 0; d < 16; ++d) {
+    for (int t = 0; t < f.routing.num_trees(); ++t) {
+      std::map<int, int> out_port_at_switch;
+      for (int s = 0; s < 16; ++s) {
+        if (s == d) continue;
+        for (const net::PathHop& hop : f.routing.path(s, d, t).hops) {
+          const auto [it, inserted] =
+              out_port_at_switch.emplace(hop.switch_node, hop.out_port);
+          ASSERT_EQ(it->second, hop.out_port);
+        }
+      }
+    }
+  }
+}
+
+TEST(RoutingProvisioning, TreeKnobCapsShadowTrees) {
+  // A k=8 fabric supports 16 trees but can be provisioned for fewer.
+  const TopologyGraph g =
+      net::make_fat_tree(8, net::LinkSpec{}, /*provisioned_trees=*/4);
+  Routing r(g);
+  EXPECT_EQ(r.num_trees(), 4);
+  // And the cap never exceeds what the address plane can encode.
+  const TopologyGraph full = net::make_fat_tree(8, net::LinkSpec{});
+  EXPECT_EQ(full.shape().provisioned_trees, 16);
+  EXPECT_LE(full.shape().provisioned_trees, net::kMaxProvisionedTrees);
+}
 
 }  // namespace
 }  // namespace planck::controller

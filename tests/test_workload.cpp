@@ -137,8 +137,21 @@ TEST(Experiment, FatTreeUsesPerTierPropagation) {
   const auto g = make_experiment_graph(cfg);
   EXPECT_EQ(g.link_spec(g.host_node(0), 0).propagation, sim::microseconds(40));
   // An aggregation uplink uses the switch value.
-  const int agg = g.switch_node(net::fat_tree::agg_switch_index(0, 0));
+  const int agg = g.switch_node(g.shape().agg_switch_index(0, 0));
   EXPECT_EQ(g.link_spec(agg, 2).propagation, sim::microseconds(5));
+}
+
+TEST(Experiment, FatTreeRadixKnobScalesTheFabric) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kStatic;
+  cfg.fat_tree_k = 6;
+  const auto g = make_experiment_graph(cfg);
+  EXPECT_EQ(g.num_hosts(), 54);
+  EXPECT_EQ(g.num_switches(), 45);
+  EXPECT_EQ(g.shape().kind, net::FabricKind::kFatTree);
+  // The Optimal star matches the fat-tree's host count at any radix.
+  cfg.scheme = Scheme::kOptimal;
+  EXPECT_EQ(make_experiment_graph(cfg).num_hosts(), 54);
 }
 
 TEST(Experiment, NamesAreStable) {

@@ -33,6 +33,13 @@ mechanically (see DESIGN.md section 7 for the catalogue and rationale):
                        byte-identical. No path exemptions — unlike
                        wall-clock, this fires in bench/ too (benches may
                        time themselves, but never feed that into a trace).
+  topology-constants   any use of the legacy `fat_tree::` constants
+                       namespace (kNumHosts, core_switch_index, …) outside
+                       the compat shim in src/net/topology.{hpp,cpp}: the
+                       fabric is topology-parametric now, so structural
+                       facts must come from graph.shape() (TopologyShape),
+                       which is correct at every radix — a literal 16-host
+                       constant silently miscomputes on a k=6/k=8 fabric.
 
 Dimensional-units checks (scoped to src/net/, src/switchsim/, src/tcp/,
 src/te/, src/workload/ — the trees migrated to sim/units.hpp):
@@ -95,6 +102,7 @@ ALL_CHECKS = [
     "time-unit",
     "raw-cast",
     "trace-wall-clock",
+    "topology-constants",
     "raw-unit-field",
     "unit-mixing",
     "unpaired-enqueue",
@@ -127,6 +135,9 @@ PATH_EXEMPTIONS = {
     # The one sanctioned flip site: RuleTable::commit_staged (the epoch
     # commit path, DESIGN.md section 10).
     "bank-swap": ["src/switchsim/rule_table.hpp"],
+    # The compat shim itself defines (and the k=4 builder validates) the
+    # legacy constants.
+    "topology-constants": ["src/net/topology.hpp", "src/net/topology.cpp"],
 }
 
 SUPPRESS_RE = re.compile(r"planck-lint:\s*allow(-file)?\s*\(([^)]*)\)")
@@ -678,6 +689,27 @@ def check_trace_wall_clock(sf, findings):
 
 
 # --------------------------------------------------------------------------
+# Check: topology-constants
+# --------------------------------------------------------------------------
+
+# Matches the legacy namespace itself (`fat_tree::kNumHosts`,
+# `using namespace net::fat_tree`) but not the builder identifiers
+# (`make_fat_tree`, `make_fat_tree_16`): no word boundary follows the
+# `make_` prefix.
+TOPOLOGY_CONSTANT_RE = re.compile(r"\bfat_tree\b")
+
+
+def check_topology_constants(sf, findings):
+    for m in TOPOLOGY_CONSTANT_RE.finditer(sf.code):
+        lineno = line_of(sf.code, m.start())
+        findings.append(Finding(
+            sf.path, lineno, "topology-constants",
+            "legacy fat_tree:: fabric constant: structural facts must come "
+            "from graph.shape() (TopologyShape), which holds at every "
+            "radix; the k=4 compat shim lives in src/net/topology.hpp"))
+
+
+# --------------------------------------------------------------------------
 # Check: raw-unit-field
 # --------------------------------------------------------------------------
 
@@ -875,6 +907,7 @@ def run_checks(root, paths, checks):
         "time-unit": check_time_unit,
         "raw-cast": check_raw_cast,
         "trace-wall-clock": check_trace_wall_clock,
+        "topology-constants": check_topology_constants,
         "raw-unit-field": check_raw_unit_field,
         "unit-mixing": check_unit_mixing,
         "bank-swap": check_bank_swap,

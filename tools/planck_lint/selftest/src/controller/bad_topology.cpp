@@ -1,0 +1,26 @@
+// Selftest fixture: topology-constants — hard-coded 16-host fabric facts
+// outside the compat shim. Every structural read must go through
+// graph.shape(); the legacy fat_tree:: namespace is only valid inside
+// src/net/topology.{hpp,cpp}.
+
+#include "net/topology.hpp"
+
+namespace planck::selftest {
+
+int edge_of_first_host() {
+  return net::fat_tree::edge_switch_index(0, 0);  // EXPECT-LINT: topology-constants
+}
+
+int hardcoded_host_count() {
+  using namespace net::fat_tree;  // EXPECT-LINT: topology-constants
+  return kNumHosts;
+}
+
+// The sanctioned path: builders are fine (no bare fat_tree token), and the
+// shape descriptor answers the same questions at any radix.
+int shape_reads_are_clean(const net::TopologyGraph& g) {
+  const net::TopologyGraph built = net::make_fat_tree(6, net::LinkSpec{});
+  return g.shape().num_core + built.shape().num_hosts;
+}
+
+}  // namespace planck::selftest
