@@ -6,6 +6,7 @@
 
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace planck::controller {
@@ -81,6 +82,10 @@ class ControlChannel {
   std::uint64_t rpc_failures() const { return rpc_failures_; }
 
  private:
+  // Single-writer by design: the channel lives on the controller's
+  // partition; RPC state advances only from event-loop callbacks.
+  PLANCK_PARTITION_OWNED;
+
   struct RpcState;
 
   /// Registers this channel's gauges with the telemetry plane, if one is

@@ -13,6 +13,7 @@
 #include "net/packet.hpp"
 #include "net/route_info.hpp"
 #include "sim/simulation.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/timer.hpp"
 
 namespace planck::obs {
@@ -204,6 +205,10 @@ class Collector : public net::Node {
   const CollectorConfig& config() const { return config_; }
 
  private:
+  // Single-writer by design: one collector runs on one partition
+  // (its switch's); nothing here is touched cross-thread.
+  PLANCK_PARTITION_OWNED;
+
   /// Per-port utilization aggregate. `flows` counts the records currently
   /// contributing a nonzero rate; when it returns to zero, `bps` is
   /// snapped to exactly 0.0 — incremental FP add/subtract is not

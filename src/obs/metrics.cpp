@@ -50,6 +50,7 @@ MetricRegistry::Entry& MetricRegistry::entry(std::string_view component,
 
 Counter& MetricRegistry::counter(std::string_view component,
                                  std::string_view name) {
+  sim::MutexLock lock(mu_);
   Entry& e = entry(component, name);
   assert(!e.gauge && !e.histogram && "metric re-registered as another kind");
   if (!e.counter) e.counter = std::make_unique<Counter>();
@@ -58,6 +59,7 @@ Counter& MetricRegistry::counter(std::string_view component,
 
 Gauge& MetricRegistry::gauge(std::string_view component,
                              std::string_view name) {
+  sim::MutexLock lock(mu_);
   Entry& e = entry(component, name);
   assert(!e.counter && !e.histogram && "metric re-registered as another kind");
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
@@ -74,6 +76,7 @@ Gauge& MetricRegistry::gauge(std::string_view component, std::string_view name,
 Histogram& MetricRegistry::histogram(std::string_view component,
                                      std::string_view name, double lo,
                                      double hi, std::size_t buckets) {
+  sim::MutexLock lock(mu_);
   Entry& e = entry(component, name);
   assert(!e.counter && !e.gauge && "metric re-registered as another kind");
   if (!e.histogram) e.histogram = std::make_unique<Histogram>(lo, hi, buckets);
@@ -84,6 +87,7 @@ void MetricRegistry::visit(
     const std::function<void(const std::string&, const std::string&,
                              const Counter*, const Gauge*, const Histogram*)>&
         fn) const {
+  sim::MutexLock lock(mu_);
   for (const auto& [key, e] : metrics_) {
     (void)key;
     fn(e.component, e.name, e.counter.get(), e.gauge.get(),
@@ -92,6 +96,7 @@ void MetricRegistry::visit(
 }
 
 std::string MetricRegistry::to_json() const {
+  sim::MutexLock lock(mu_);
   std::string out = "{\"schema\":\"planck-metrics-v1\",\"metrics\":[";
   bool first = true;
   for (const auto& [key, e] : metrics_) {
@@ -113,9 +118,9 @@ std::string MetricRegistry::to_json() const {
       out += "histogram\",\"count\":";
       append_u64(out, e.histogram->count());
       out += ",\"underflow\":";
-      append_u64(out, e.histogram->data().underflow());
+      append_u64(out, e.histogram->underflow());
       out += ",\"overflow\":";
-      append_u64(out, e.histogram->data().overflow());
+      append_u64(out, e.histogram->overflow());
       out += ",\"p50\":";
       append_double(out, e.histogram->quantile(0.50));
       out += ",\"p90\":";

@@ -46,12 +46,14 @@ std::size_t Tracer::tid_for(std::string_view component) {
 
 void Tracer::instant(sim::Time t, std::string_view component,
                      std::string_view name, std::string args) {
+  sim::MutexLock lock(mu_);
   events_.push_back(Event{'I', t, sim::Duration{0}, tid_for(component),
                           std::string(name), std::move(args)});
 }
 
 void Tracer::counter(sim::Time t, std::string_view component,
                      std::string_view name, double value) {
+  sim::MutexLock lock(mu_);
   events_.push_back(Event{'C', t, sim::Duration{0}, tid_for(component),
                           std::string(name),
                           argf("\"value\":%.6f", value)});
@@ -60,16 +62,19 @@ void Tracer::counter(sim::Time t, std::string_view component,
 void Tracer::complete(sim::Time t, sim::Duration dur,
                       std::string_view component, std::string_view name,
                       std::string args) {
+  sim::MutexLock lock(mu_);
   events_.push_back(Event{'X', t, dur, tid_for(component), std::string(name),
                           std::move(args)});
 }
 
 void Tracer::clear() {
+  sim::MutexLock lock(mu_);
   events_.clear();
   components_.clear();
 }
 
 std::string Tracer::to_json() const {
+  sim::MutexLock lock(mu_);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   // One metadata record per component names its trace "thread".

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace planck::obs {
@@ -27,27 +28,38 @@ std::string argf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 /// Event kinds used here: "I" (instant, a point occurrence like a drop or
 /// reroute), "C" (counter, a stepped time series), "X" (complete, a span
 /// with a duration).
+///
+/// Thread discipline: the event and component vectors grow from whatever
+/// thread emits, so both sit behind one mutex; emission order under
+/// concurrent writers follows lock-acquisition order. Determinism claims
+/// above therefore assume single-threaded emission (one simulation, or
+/// one tracer per partition) — the lock makes concurrent emission safe,
+/// not ordered.
 class Tracer {
  public:
   /// A point event, e.g. a drop, a congestion detection, a reroute.
   void instant(sim::Time t, std::string_view component, std::string_view name,
-               std::string args = std::string());
+               std::string args = std::string()) PLANCK_EXCLUDES(mu_);
 
   /// One point of a stepped time series rendered as a counter track.
   void counter(sim::Time t, std::string_view component, std::string_view name,
-               double value);
+               double value) PLANCK_EXCLUDES(mu_);
 
   /// A span [t, t+dur), e.g. a whole simulation run.
   void complete(sim::Time t, sim::Duration dur, std::string_view component,
-                std::string_view name, std::string args = std::string());
+                std::string_view name, std::string args = std::string())
+      PLANCK_EXCLUDES(mu_);
 
-  std::size_t size() const { return events_.size(); }
-  void clear();
+  std::size_t size() const PLANCK_EXCLUDES(mu_) {
+    sim::MutexLock lock(mu_);
+    return events_.size();
+  }
+  void clear() PLANCK_EXCLUDES(mu_);
 
   /// Full Chrome trace JSON document. Deterministic: depends only on the
   /// recorded events, which depend only on sim execution order.
-  std::string to_json() const;
-  bool write_json(const std::string& path) const;
+  std::string to_json() const PLANCK_EXCLUDES(mu_);
+  bool write_json(const std::string& path) const PLANCK_EXCLUDES(mu_);
 
  private:
   struct Event {
@@ -59,10 +71,11 @@ class Tracer {
     std::string args;  // JSON object body, may be empty
   };
 
-  std::size_t tid_for(std::string_view component);
+  std::size_t tid_for(std::string_view component) PLANCK_REQUIRES(mu_);
 
-  std::vector<Event> events_;
-  std::vector<std::string> components_;  // index == tid
+  mutable sim::Mutex mu_;
+  std::vector<Event> events_ PLANCK_GUARDED_BY(mu_);
+  std::vector<std::string> components_ PLANCK_GUARDED_BY(mu_);  // index == tid
 };
 
 }  // namespace planck::obs

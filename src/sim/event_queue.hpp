@@ -6,6 +6,7 @@
 
 #include "net/packet.hpp"
 #include "sim/inline_function.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace planck::sim {
@@ -100,6 +101,11 @@ class EventQueue {
   void run_top(Time* when = nullptr);
 
  private:
+  // Single-writer by design: the wheel and its slab belong to one
+  // engine thread; cross-partition sends must go through a mailbox,
+  // never this queue (DESIGN.md section 12).
+  PLANCK_PARTITION_OWNED;
+
   // --- geometry -----------------------------------------------------------
   static constexpr std::uint32_t kNil = 0xffffffffu;
   static constexpr std::uint32_t kNotFound = 0xffffffffu;

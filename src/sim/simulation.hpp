@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace planck::obs {
@@ -100,6 +101,11 @@ class Simulation {
   obs::Telemetry* telemetry() const { return telemetry_; }
 
  private:
+  // Single-writer by design: one Simulation is one partition's event
+  // core; only telemetry_ points at shared state, and installing it
+  // is a pre-run, single-threaded operation (set_telemetry above).
+  PLANCK_PARTITION_OWNED;
+
   void fold_digest() {
     digest_ = (digest_ ^ static_cast<std::uint64_t>(now_)) * kFnvPrime;
     digest_ = (digest_ ^ queue_.size()) * kFnvPrime;

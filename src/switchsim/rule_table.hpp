@@ -7,6 +7,7 @@
 #include "net/addresses.hpp"
 #include "net/packet.hpp"
 #include "sim/contract.hpp"
+#include "sim/thread_annotations.hpp"
 #include "sim/units.hpp"
 
 namespace planck::switchsim {
@@ -184,6 +185,10 @@ class RuleTable {
   std::uint64_t committed_epoch() const { return committed_epoch_; }
 
  private:
+  // Single-writer by design: rule churn comes only from the owning
+  // switch's control-plane callbacks on its partition.
+  PLANCK_PARTITION_OWNED;
+
   struct Bank {
     std::unordered_map<net::MacAddress, MacEntry> mac_table;
     std::unordered_map<net::FlowKey, FlowEntry, net::FlowKeyHash> flow_table;

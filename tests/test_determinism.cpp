@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -156,12 +158,21 @@ RunResult run_te_failover(std::uint64_t seed) {
                    bed.controller().failovers() + te.failovers()};
 }
 
+/// Prints the digest value itself (not just same-seed equality): CI logs
+/// from two revisions can then be diffed to prove a refactor preserved the
+/// exact event stream, the way the PR-8 state-localization sweep was
+/// verified.
+void report_digest(const char* scenario, std::uint64_t digest) {
+  std::printf("[digest] %s %016" PRIx64 "\n", scenario, digest);
+}
+
 TEST(Determinism, Fig15ScenarioIsByteIdenticalAcrossRuns) {
   const RunResult a = run_fig15(3);
   const RunResult b = run_fig15(3);
   EXPECT_FALSE(a.log.empty());
   EXPECT_EQ(a.log, b.log);
   EXPECT_EQ(a.digest, b.digest);
+  report_digest("fig15", a.digest);
 }
 
 TEST(Determinism, Fig15DifferentSeedsDiverge) {
@@ -180,6 +191,7 @@ TEST(Determinism, FaultedScenarioIsByteIdenticalAcrossRuns) {
   EXPECT_NE(a.log.find("H "), std::string::npos);  // faults actually fired
   EXPECT_EQ(a.log, b.log);
   EXPECT_EQ(a.digest, b.digest);
+  report_digest("fault", a.digest);
 }
 
 TEST(Determinism, TeFailoverScenarioIsByteIdenticalAcrossRuns) {
@@ -190,6 +202,7 @@ TEST(Determinism, TeFailoverScenarioIsByteIdenticalAcrossRuns) {
   EXPECT_GE(a.failovers, 1u);                      // and forced a failover
   EXPECT_EQ(a.log, b.log);
   EXPECT_EQ(a.digest, b.digest);
+  report_digest("te-failover", a.digest);
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
 #include <vector>
 
 #include "controller/controller.hpp"
@@ -630,6 +632,9 @@ TEST(EpochChaos, SameSeedRunsAreDigestIdentical) {
   EXPECT_EQ(a.completed, 6);
   EXPECT_GT(a.commits, 0u);
   EXPECT_LE(a.max_blackhole, cfg_bound());
+  // Absolute digest in the log so two revisions' CI output can be diffed
+  // to prove a refactor preserved the exact event stream.
+  std::printf("[digest] epoch-chaos %016" PRIx64 "\n", a.digest);
 }
 
 TEST(EpochChaos, TelemetryDoesNotPerturbTheSchedule) {

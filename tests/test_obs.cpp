@@ -164,6 +164,7 @@ TEST(ObsMacros, MetricAppliesThroughPointer) {
 /// captures the trace and registry instead of the milestone log.
 struct TracedRun {
   std::string trace_json;
+  std::string metrics_json;
   std::uint64_t digest = 0;
   std::size_t trace_events = 0;
   std::vector<std::string> components;
@@ -187,6 +188,7 @@ TracedRun run_fig15_traced(std::uint64_t seed, bool tracing) {
 
   TracedRun out;
   out.trace_json = tel.tracer().to_json();
+  out.metrics_json = tel.metrics().to_json();
   out.digest = sim.determinism_digest();
   out.trace_events = tel.tracer().size();
   tel.metrics().visit([&out](const std::string& component, const std::string&,
@@ -237,6 +239,50 @@ TEST(Telemetry, SameSeedTraceIsByteIdentical) {
   }
   EXPECT_EQ(a.trace_json, b.trace_json);
   EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(Telemetry, TwoInstancesExportIndependentByteIdenticalJson) {
+  // Two Simulations with separate registries, alive simultaneously and
+  // advanced in interleaved 10 ms slices — the shape the partitioned
+  // engine will run in. Any hidden static-storage state in the metric
+  // plane (the thing planck-lint's mutable-global check bans) would let
+  // one instance's registrations or counts bleed into the other's export;
+  // instead each must serialize byte-identically to a solo same-seed run.
+  const TracedRun solo = run_fig15_traced(3, /*tracing=*/false);
+
+  const auto graph = net::make_fat_tree_16(
+      net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
+  workload::TestbedConfig cfg;
+  cfg.seed = 3;
+
+  sim::Simulation sim_a;
+  sim::Simulation sim_b;
+  obs::Telemetry tel_a;
+  obs::Telemetry tel_b;
+  sim_a.set_telemetry(&tel_a);
+  sim_b.set_telemetry(&tel_b);
+  workload::Testbed bed_a(sim_a, graph, cfg);
+  workload::Testbed bed_b(sim_b, graph, cfg);
+  te::PlanckTe te_a(sim_a, bed_a.controller(), te::PlanckTeConfig{});
+  te::PlanckTe te_b(sim_b, bed_b.controller(), te::PlanckTeConfig{});
+  for (int i : {0, 1}) {
+    bed_a.host(i)->start_flow(net::host_ip(4 + i), 5001, 8 * 1024 * 1024);
+    bed_b.host(i)->start_flow(net::host_ip(4 + i), 5001, 8 * 1024 * 1024);
+  }
+  for (int slice = 1; slice <= 10; ++slice) {
+    sim_a.run_until(sim::milliseconds(10 * slice));
+    sim_b.run_until(sim::milliseconds(10 * slice));
+  }
+
+  EXPECT_EQ(sim_a.determinism_digest(), sim_b.determinism_digest());
+  const std::string json_a = tel_a.metrics().to_json();
+  const std::string json_b = tel_b.metrics().to_json();
+  EXPECT_EQ(json_a, json_b);
+  EXPECT_EQ(json_a, solo.metrics_json);
+  EXPECT_NE(json_a.find("\"schema\":\"planck-metrics-v1\""),
+            std::string::npos);
+  sim_a.set_telemetry(nullptr);
+  sim_b.set_telemetry(nullptr);
 }
 
 TEST(Telemetry, ObservationDoesNotPerturbTheRun) {

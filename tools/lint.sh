@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Single entry point for all static analysis (DESIGN.md §7).
+# Single entry point for all static analysis (DESIGN.md §7, §12).
 #
 #   tools/lint.sh                       run everything available here
 #   tools/lint.sh --fast                planck-lint only (no clang tooling)
@@ -8,18 +8,26 @@
 #                                       is missing — CI uses this so a broken
 #                                       tool install cannot silently pass
 #
-# Layers, in order:
+# Stages, in order:
 #   1. planck-lint selftest  — proves the analyzer still catches its seeded
 #                              violations before we trust a clean tree.
-#   2. planck-lint           — project-specific determinism/invariant checks.
-#   3. clang-tidy            — curated baseline in .clang-tidy (gated: skipped
-#                              with a notice when clang-tidy is not installed,
-#                              e.g. in the minimal dev container).
-#   4. clang-format          — style drift check, --dry-run only (gated the
-#                              same way; never rewrites files unless --fix).
+#   2. planck-lint           — project-specific determinism/invariant and
+#                              concurrency-readiness checks.
+#   3. thread-safety         — clang++ -fsyntax-only -Wthread-safety -Werror
+#                              over the annotated TUs + the probe TU
+#                              (tools/thread_safety_probe.cpp); statically
+#                              proves the PLANCK_GUARDED_BY lock discipline.
+#                              Gated: skipped with a notice when clang++ is
+#                              not installed.
+#   4. clang-tidy            — curated baseline in .clang-tidy (gated the
+#                              same way).
+#   5. clang-format          — style drift check, --dry-run only (gated;
+#                              never rewrites files unless --fix).
 #
-# Exit status is non-zero if any executed layer finds a problem. Skipped
-# layers (missing tools) do not fail the run unless --require-clang-tools.
+# Every stage runs even when an earlier one fails; the exit status
+# aggregates all of them and a PASS/FAIL/SKIP summary prints at the end,
+# so one run reports every kind of breakage at once. Skipped stages
+# (missing tools) do not fail the run unless --require-clang-tools.
 
 set -u
 
@@ -35,7 +43,7 @@ for arg in "$@"; do
     --fix) fix=1 ;;
     --require-clang-tools) require_clang_tools=1 ;;
     -h|--help)
-      sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -46,15 +54,40 @@ for arg in "$@"; do
 done
 
 status=0
+stage_names=()
+stage_results=()
+
 note() { printf '\n== %s ==\n' "$1"; }
 
-missing_tool() {
-  # $1 = tool name. Fatal under --require-clang-tools, a notice otherwise.
-  if [ "$require_clang_tools" -eq 1 ]; then
-    echo "lint.sh: $1 required (--require-clang-tools) but not installed" >&2
-    status=1
+# record <stage> <PASS|FAIL|SKIP>: FAIL flips the aggregate exit status.
+record() {
+  stage_names+=("$1")
+  stage_results+=("$2")
+  [ "$2" = "FAIL" ] && status=1
+}
+
+summarize() {
+  printf '\n== summary ==\n'
+  local i
+  for i in "${!stage_names[@]}"; do
+    printf '  %-22s %s\n' "${stage_names[$i]}" "${stage_results[$i]}"
+  done
+  if [ "$status" -eq 0 ]; then
+    echo "lint.sh: OK"
   else
-    echo "$1 not installed — skipped (CI runs it; apt-get install $1)"
+    echo "lint.sh: FAILED (see stages above)" >&2
+  fi
+}
+
+missing_tool() {
+  # $1 = stage, $2 = tool name. Fatal under --require-clang-tools, a
+  # SKIP otherwise.
+  if [ "$require_clang_tools" -eq 1 ]; then
+    echo "lint.sh: $2 required (--require-clang-tools) but not installed" >&2
+    record "$1" FAIL
+  else
+    echo "$2 not installed — skipped (CI runs it; apt-get install $2)"
+    record "$1" SKIP
   fi
 }
 
@@ -66,51 +99,77 @@ if [ "$fix" -eq 1 ]; then
       xargs -0 clang-format -i || status=1
     echo "lint.sh: reformatted in place; review the diff"
   else
-    missing_tool clang-format
+    missing_tool clang-format-fix clang-format
   fi
   exit "$status"
 fi
 
 note "planck-lint selftest"
-python3 tools/planck_lint/planck_lint.py --selftest || status=1
+if python3 tools/planck_lint/planck_lint.py --selftest; then
+  record selftest PASS
+else
+  record selftest FAIL
+fi
 
 note "planck-lint"
-python3 tools/planck_lint/planck_lint.py || status=1
+if python3 tools/planck_lint/planck_lint.py; then
+  record planck-lint PASS
+else
+  record planck-lint FAIL
+fi
 
 if [ "$fast" -eq 1 ]; then
-  [ "$status" -eq 0 ] && echo "lint.sh: OK (fast mode)"
+  summarize
   exit "$status"
+fi
+
+note "clang thread-safety"
+if command -v clang++ >/dev/null 2>&1; then
+  # The probe TU pulls in every annotated header; the obs TUs carry the
+  # out-of-line locked bodies. -Werror: an unannotated access to guarded
+  # state is a failure, not a notice.
+  if clang++ -fsyntax-only -std=c++20 -Isrc -Wthread-safety -Werror \
+      tools/thread_safety_probe.cpp src/obs/metrics.cpp src/obs/trace.cpp; then
+    record thread-safety PASS
+  else
+    record thread-safety FAIL
+  fi
+else
+  missing_tool thread-safety clang++
 fi
 
 note "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   # clang-tidy needs a compilation database; build one if absent.
+  tidy_ok=1
   if [ ! -f build/compile_commands.json ]; then
-    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || status=1
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || tidy_ok=0
   fi
   if [ -f build/compile_commands.json ]; then
     # Headers are covered via the TUs that include them (HeaderFilterRegex
     # in .clang-tidy).
     find src -name '*.cpp' -print0 |
-      xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build --quiet || status=1
+      xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build --quiet || tidy_ok=0
   else
     echo "lint.sh: could not generate compile_commands.json" >&2
-    status=1
+    tidy_ok=0
   fi
+  if [ "$tidy_ok" -eq 1 ]; then record clang-tidy PASS; else record clang-tidy FAIL; fi
 else
-  missing_tool clang-tidy
+  missing_tool clang-tidy clang-tidy
 fi
 
 note "clang-format"
 if command -v clang-format >/dev/null 2>&1; then
-  find src tests examples bench -name '*.cpp' -o -name '*.hpp' |
-    xargs clang-format --dry-run -Werror || status=1
+  if find src tests examples bench -name '*.cpp' -o -name '*.hpp' |
+      xargs clang-format --dry-run -Werror; then
+    record clang-format PASS
+  else
+    record clang-format FAIL
+  fi
 else
-  missing_tool clang-format
+  missing_tool clang-format clang-format
 fi
 
-if [ "$status" -eq 0 ]; then
-  echo
-  echo "lint.sh: OK"
-fi
+summarize
 exit "$status"

@@ -62,6 +62,42 @@ src/te/, src/workload/ — the trees migrated to sim/units.hpp):
                        scanned call graph: admitted bytes would leak from
                        the conservation ledger.
 
+Concurrency-readiness checks (scoped to src/ — the gate in front of the
+partitioned engine, DESIGN.md section 12: before any thread is spawned,
+the tree must be provably free of hidden shared mutable state):
+
+  mutable-global       non-const static-storage state anywhere in src/:
+                       namespace-scope variables, function-local statics,
+                       static data members. A mutable global is shared by
+                       every future partition thread at once; convert it
+                       to member/injected state or constexpr. Audited
+                       singletons carry a file-wide
+                       `// planck-lint: allow-file(mutable-global)` with a
+                       written rationale.
+  guarded-field        a class owning a std::mutex must say what the mutex
+                       protects: every mutex member needs at least one
+                       PLANCK_GUARDED_BY(that_mutex) field reference, and
+                       every plain data member of a mutex-owning class
+                       must be annotated (or const/atomic). A class mixing
+                       std::atomic members with plain fields must either
+                       guard the plain fields or declare
+                       PLANCK_PARTITION_OWNED (single-writer, externally
+                       synchronized). Annotations live in
+                       src/sim/thread_annotations.hpp and double as Clang
+                       -Wthread-safety attributes.
+  partition-escape     a cross-partition handle grabbed inside the
+                       event-execution core: sim.telemetry() (the one
+                       object PR-9 partitions will share) dereferenced, or
+                       set_telemetry() re-installed, in any function from
+                       which a scheduling sink is reachable through the
+                       scanned call graph. Shared-plane writes must go
+                       through the PLANCK_TRACE / PLANCK_METRIC macro
+                       layer or a handle captured in register_metrics()
+                       (the sanctioned single-threaded setup point); raw
+                       escape hatches carry
+                       `// planck-lint: allow(partition-escape)` with a
+                       rationale.
+
 Meta check:
 
   stale-allowance      an allow()/allow-file() comment that suppresses
@@ -107,8 +143,17 @@ ALL_CHECKS = [
     "unit-mixing",
     "unpaired-enqueue",
     "bank-swap",
+    "mutable-global",
+    "guarded-field",
+    "partition-escape",
     "stale-allowance",
 ]
+
+# The concurrency-readiness checks gate the partitioned-engine arc
+# (DESIGN.md section 12); they police production sources only — tests,
+# benches and examples are driver programs that never run inside a
+# partition.
+CONCURRENCY_SCOPE = ["src/"]
 
 # The trees migrated to the strong unit types in src/sim/units.hpp; the
 # dimensional checks only apply here (core/, controller/ and sim/ keep raw
@@ -121,6 +166,9 @@ CHECK_SCOPE = {
     "raw-unit-field": UNITS_SCOPE,
     "unit-mixing": UNITS_SCOPE,
     "unpaired-enqueue": UNITS_SCOPE,
+    "mutable-global": CONCURRENCY_SCOPE,
+    "guarded-field": CONCURRENCY_SCOPE,
+    "partition-escape": CONCURRENCY_SCOPE,
 }
 
 # The sanctioned unit-crossing functions (src/sim/units.hpp). unit-mixing
@@ -138,6 +186,11 @@ PATH_EXEMPTIONS = {
     # The compat shim itself defines (and the k=4 builder validates) the
     # legacy constants.
     "topology-constants": ["src/net/topology.hpp", "src/net/topology.cpp"],
+    # src/obs IS the shared plane: the macro layer and the Telemetry
+    # accessors legitimately hold what is a cross-partition handle
+    # everywhere else. Its own thread-safety is enforced by guarded-field
+    # and the Clang -Wthread-safety annotations instead.
+    "partition-escape": ["src/obs/"],
 }
 
 SUPPRESS_RE = re.compile(r"planck-lint:\s*allow(-file)?\s*\(([^)]*)\)")
@@ -877,6 +930,361 @@ def check_unpaired_enqueue(files, findings):
 
 
 # --------------------------------------------------------------------------
+# Brace-context classification (shared by the concurrency checks)
+# --------------------------------------------------------------------------
+
+FUNC_TRAILER_RE = re.compile(r"(?:\s*(?:const|noexcept|override|final|mutable))*$")
+TRAILING_RETURN_RE = re.compile(r"->\s*[\w:<>&*\s]+$")
+NAMESPACE_HEAD_RE = re.compile(r"(?:\binline\s+)?\bnamespace\b(?:\s+[\w:]+)?\s*$"
+                               r"|\bextern\s*$")
+
+
+def classify_open_brace(code, brace_idx):
+    """Best-effort classification of the '{' at brace_idx as the opener of
+    a 'namespace', 'class', 'function', or 'other' (initializer braces,
+    enum bodies, control-flow blocks...) region. Mirrors the heuristics of
+    extract_functions: conservative, name-based, good enough for a project
+    lint."""
+    head = code[:brace_idx].rstrip()
+    if NAMESPACE_HEAD_RE.search(head):
+        return "namespace"
+    stripped = FUNC_TRAILER_RE.sub("", head)
+    stripped = TRAILING_RETURN_RE.sub("", stripped).rstrip()
+    if stripped.endswith(")") or stripped.endswith("]"):
+        # Function bodies, lambdas, and control-flow blocks — all of which
+        # mean "inside executable code", which is all the callers need.
+        return "function"
+    # The statement head this brace terminates.
+    stmt = re.split(r"[;{}]", head)[-1]
+    if re.search(r"\benum\b", stmt):
+        return "other"
+    if re.search(r"\b(?:class|struct|union)\b", stmt) and "(" not in stmt:
+        return "class"
+    return "other"
+
+
+def brace_stacks(code):
+    """stacks[i] = tuple of enclosing brace-context kinds at offset i (the
+    innermost last). Shared-tuple representation keeps this O(n) in time
+    and cheap in memory."""
+    stacks = [()] * (len(code) + 1)
+    stack = ()
+    for i, c in enumerate(code):
+        if c == "}" and stack:
+            stack = stack[:-1]
+        stacks[i] = stack
+        if c == "{":
+            stack = stack + (classify_open_brace(code, i),)
+    stacks[len(code)] = stack
+    return stacks
+
+
+# --------------------------------------------------------------------------
+# Check: mutable-global
+# --------------------------------------------------------------------------
+
+# Keywords that disqualify a candidate namespace-scope statement from being
+# a variable definition.
+NS_DECL_SKIP_TOKENS = {
+    "using", "typedef", "template", "friend", "operator", "return", "throw",
+    "goto", "delete", "new", "class", "struct", "union", "enum", "namespace",
+    "static_assert", "co_return", "co_yield", "if", "else", "for", "while",
+    "do", "switch", "case", "break", "continue", "public", "private",
+    "protected", "asm", "concept", "requires",
+}
+
+# Candidate declaration statements: anything ';'-terminated whose head has
+# no parentheses (function declarations/definitions are excluded by
+# construction) and no braces.
+NS_DECL_CAND_RE = re.compile(
+    r"(?:\A|(?<=[;{}]))([^;{}()\[\]=]+?)\s*"
+    r"(=[^;{}]*|\{[^;{}]*\}|\[[^\]]*\]\s*(?:=[^;{}]*|\{[^;{}]*\})?)?\s*;")
+
+STATIC_DECL_RE = re.compile(
+    r"\bstatic\s+((?:(?:inline|thread_local|constinit|mutable|volatile)\s+)*)"
+    r"((?:[A-Za-z_][\w:]*)(?:\s*<[^;{}()]*>)?(?:\s*(?:\*|&|const\b))*)\s+"
+    r"([A-Za-z_]\w*(?:\s*\[[^\]]*\])?)\s*(=|\{|;|\()")
+
+
+def mutable_global_message(what, name):
+    return (f"{what} '{name}' is shared mutable state every partition "
+            f"thread would race on; convert it to member/injected state or "
+            f"constexpr (audited singletons: file-wide allow-file with a "
+            f"written rationale, DESIGN.md section 12)")
+
+
+def check_mutable_global(sf, findings):
+    """Non-const static-storage-duration state: namespace-scope variables,
+    function-local statics, static data members. The partitioned engine
+    (ROADMAP: shard the wheel and slabs, run partitions on a thread pool)
+    can only keep digests byte-stable if partition state is injected, never
+    ambient."""
+    stacks = brace_stacks(sf.code)
+
+    # (a) namespace-scope variable definitions (static or not).
+    for m in NS_DECL_CAND_RE.finditer(sf.code):
+        head = m.group(1)
+        first_char = m.start(1)
+        if any(kind != "namespace" for kind in stacks[first_char]):
+            continue
+        tokens = head.split()
+        if len(tokens) < 2:
+            continue
+        if any(t in NS_DECL_SKIP_TOKENS for t in tokens):
+            continue
+        if "const" in tokens or "constexpr" in tokens:
+            continue  # immutable: safe to share
+        if re.search(r"\bconst\b|\bconstexpr\b", head):
+            continue  # const glued into a qualified type (e.g. `T* const`)
+        name = tokens[-1]
+        if not re.match(r"[A-Za-z_][\w:]*$", name):
+            continue
+        if not re.match(r"[A-Za-z_]", tokens[0]):
+            continue
+        lineno = line_of(sf.code, first_char + len(head) - len(head.lstrip()))
+        what = ("extern declaration of mutable global"
+                if "extern" in tokens else "namespace-scope variable")
+        findings.append(Finding(sf.path, lineno, "mutable-global",
+                                mutable_global_message(what, name)))
+
+    # (b) `static` declarations in class or function scope (namespace-scope
+    # statics are already covered by (a)).
+    for m in STATIC_DECL_RE.finditer(sf.code):
+        if m.group(4) == "(":
+            continue  # static member function / static free function
+        decl_type = m.group(2).strip()
+        if re.match(r"(?:const|constexpr)\b", decl_type) or \
+                re.search(r"\bconstexpr\b", m.group(1) + decl_type):
+            continue
+        # `static const T x` / `static T const x`: immutable, shareable.
+        if re.search(r"\bconst\b", decl_type):
+            continue
+        stack = stacks[m.start()]
+        if not any(kind != "namespace" for kind in stack):
+            continue  # namespace scope: (a) already reported it
+        what = ("function-local static"
+                if stack and stack[-1] in ("function", "other")
+                else "mutable static data member")
+        lineno = line_of(sf.code, m.start())
+        findings.append(Finding(sf.path, lineno, "mutable-global",
+                                mutable_global_message(what, m.group(3))))
+
+
+# --------------------------------------------------------------------------
+# Check: guarded-field
+# --------------------------------------------------------------------------
+
+# The optional PLANCK_* group skips attribute macros between the keyword
+# and the name (class PLANCK_CAPABILITY("mutex") Mutex, ...).
+CLASS_OPEN_RE = re.compile(
+    r"\b(class|struct)\s+(?:PLANCK_\w+\s*(?:\([^)]*\)\s*)?)?"
+    r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{]*)?\{")
+# Matches both the std types and the repo's capability-annotated wrapper
+# (sim::Mutex, sim/thread_annotations.hpp).
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:(?:std::)?(?:recursive_|shared_|timed_|recursive_timed_)?mutex"
+    r"|(?:planck::)?(?:sim::)?Mutex)\s+"
+    r"([A-Za-z_]\w*)\s*[;{=]")
+ATOMIC_MEMBER_RE = re.compile(
+    r"\bstd::atomic(?:<[^;>]*(?:<[^;>]*>)?[^;>]*>|_\w+)\s+([A-Za-z_]\w*)")
+GUARDED_REF_RE = re.compile(
+    r"\bPLANCK(?:_PT)?_GUARDED_BY\s*\(\s*([A-Za-z_]\w*)")
+PARTITION_OWNED_RE = re.compile(r"\bPLANCK_PARTITION_OWNED\b")
+MEMBER_SKIP_TOKENS = {
+    "using", "typedef", "friend", "static", "enum", "class", "struct",
+    "union", "template", "public", "private", "protected", "operator",
+    "explicit", "virtual", "return",
+}
+
+
+def mask_nested_braces(body):
+    """Returns `body` with everything below its top brace level blanked
+    (newlines kept), so member scans do not see method bodies, nested
+    classes, or default-initializer innards."""
+    out = list(body)
+    depth = 0
+    for i, c in enumerate(body):
+        if c == "{":
+            depth += 1
+            if depth > 1 and body[i] != "\n":
+                out[i] = " "
+        elif c == "}":
+            if depth > 1 and body[i] != "\n":
+                out[i] = " "
+            depth -= 1
+        elif depth > 1 and c != "\n":
+            out[i] = " "
+    return "".join(out)
+
+
+def has_toplevel_paren(text):
+    """True when `text` contains a '(' outside angle brackets — i.e. the
+    statement declares (or defines) a function, not a data member.
+    Parentheses inside template arguments (std::function<void()> handlers)
+    do not count."""
+    angle = 0
+    for c in text:
+        if c == "<":
+            angle += 1
+        elif c == ">":
+            angle = max(0, angle - 1)
+        elif c == "(" and angle == 0:
+            return True
+    return False
+
+
+def member_declarations(member_text):
+    """Yields (offset, name, decl_text) for plain data-member declarations
+    at class-body top level: ';'-terminated statements with no top-level
+    parens (methods, ctors and annotated members have them) and no
+    disqualifying keyword."""
+    pos = 0
+    while True:
+        end = member_text.find(";", pos)
+        if end < 0:
+            return
+        stmt = member_text[pos:end]
+        start = pos
+        pos = end + 1
+        # Access specifiers glue onto the following statement; strip them.
+        stripped = re.sub(r"\b(?:public|private|protected)\s*:", " ", stmt)
+        lead = len(stmt) - len(stmt.lstrip())
+        if has_toplevel_paren(stripped):
+            continue
+        tokens = stripped.split()
+        if len(tokens) < 2:
+            continue
+        if any(t.rstrip(":") in MEMBER_SKIP_TOKENS for t in tokens):
+            continue
+        name_m = re.search(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:=[^=]*|\{.*\})?\s*$",
+                           stripped, re.S)
+        if not name_m:
+            continue
+        yield start + lead, name_m.group(1), stripped
+
+
+def check_guarded_field(sf, findings):
+    """A class that owns synchronization must say what it synchronizes
+    (DESIGN.md section 12): every mutex member needs >= 1
+    PLANCK_GUARDED_BY(that_mutex) reference, every plain field of a
+    mutex-owning class needs an annotation, and a class mixing std::atomic
+    members with plain fields must either guard the plain fields or declare
+    PLANCK_PARTITION_OWNED (single-writer, externally synchronized)."""
+    for cm in CLASS_OPEN_RE.finditer(sf.code):
+        if re.search(r"\benum\s+$", sf.code[:cm.start()]):
+            continue
+        body_open = cm.end() - 1
+        body_close = match_paren(sf.code, body_open, "{", "}")
+        if body_close < 0:
+            continue
+        class_name = cm.group(2)
+        body = sf.code[body_open:body_close + 1]
+        members = mask_nested_braces(body)
+
+        mutexes = {}  # name -> offset in body
+        for mm in MUTEX_MEMBER_RE.finditer(members):
+            mutexes[mm.group(1)] = mm.start()
+        atomics = {}
+        for am in ATOMIC_MEMBER_RE.finditer(members):
+            atomics[am.group(1)] = am.start()
+        guarded_by = set(GUARDED_REF_RE.findall(members))
+        partition_owned = PARTITION_OWNED_RE.search(members) is not None
+
+        for name, off in sorted(mutexes.items(), key=lambda kv: kv[1]):
+            if name not in guarded_by:
+                lineno = line_of(sf.code, body_open + off)
+                findings.append(Finding(
+                    sf.path, lineno, "guarded-field",
+                    f"mutex member '{name}' of '{class_name}' has zero "
+                    f"PLANCK_GUARDED_BY({name}) references: a lock that "
+                    f"guards nothing is a lock nobody can audit; annotate "
+                    f"the fields it protects (sim/thread_annotations.hpp)"))
+
+        if not mutexes and not atomics:
+            continue
+        for off, name, decl in member_declarations(members):
+            if name in mutexes or name in atomics:
+                continue
+            if re.search(r"\bconst\b|\bconstexpr\b", decl):
+                continue
+            if "PLANCK" in decl and GUARDED_REF_RE.search(decl):
+                continue
+            lineno = line_of(sf.code, body_open + off)
+            if mutexes:
+                findings.append(Finding(
+                    sf.path, lineno, "guarded-field",
+                    f"field '{name}' of mutex-owning class '{class_name}' "
+                    f"carries no PLANCK_GUARDED_BY annotation: state in a "
+                    f"locked class is either guarded, const, atomic, or a "
+                    f"documented exception (allow with a rationale)"))
+            elif not partition_owned:
+                findings.append(Finding(
+                    sf.path, lineno, "guarded-field",
+                    f"'{class_name}' mixes std::atomic members with plain "
+                    f"field '{name}' but declares no ownership: add "
+                    f"PLANCK_PARTITION_OWNED (single-writer, externally "
+                    f"synchronized, DESIGN.md section 12) or guard the "
+                    f"plain fields"))
+
+
+# --------------------------------------------------------------------------
+# Check: partition-escape
+# --------------------------------------------------------------------------
+
+TELEMETRY_GET_RE = re.compile(r"(?:\.|->)\s*telemetry\s*\(\s*\)")
+SET_TELEMETRY_RE = re.compile(r"(?:\.|->)\s*set_telemetry\s*\(")
+
+# The sanctioned single-threaded setup points: metric/trace registration
+# happens in constructors, before any partition thread exists.
+ESCAPE_EXEMPT_FUNCTIONS = {"register_metrics"}
+
+
+def check_partition_escape(files, findings):
+    """Taint walk from the sim::Simulation/EventQueue entry points: a
+    function from which a scheduling sink is reachable through the scanned
+    call graph executes inside the event loop — on the owning partition's
+    thread once PR 9 lands. Grabbing sim.telemetry() there (the one object
+    partitions share) or re-installing it mid-run is a write path to state
+    the executing partition does not own. Shared-plane access from the
+    event core must go through the PLANCK_TRACE/PLANCK_METRIC macro layer
+    (null-checked, lock-disciplined) or a handle captured in
+    register_metrics(); anything rawer carries an allow(partition-escape)
+    with a rationale."""
+    scoped = [sf for sf in files if not exempt(sf.path, "partition-escape")]
+    all_funcs = []
+    funcs_by_file = {}
+    for sf in scoped:
+        funcs = extract_functions(sf)
+        funcs_by_file[sf.path] = funcs
+        all_funcs.extend(funcs)
+    compute_taint(all_funcs)
+
+    for sf in scoped:
+        for fn in funcs_by_file[sf.path]:
+            if not fn.tainted_via:
+                continue
+            if fn.name in ESCAPE_EXEMPT_FUNCTIONS:
+                continue
+            for m in TELEMETRY_GET_RE.finditer(fn.body):
+                lineno = line_of(sf.code, fn.start + m.start())
+                findings.append(Finding(
+                    sf.path, lineno, "partition-escape",
+                    f"cross-partition handle: telemetry() dereferenced in "
+                    f"'{fn.name}' ({fn.tainted_via}), which executes "
+                    f"inside the event loop; go through PLANCK_TRACE/"
+                    f"PLANCK_METRIC or capture the handle in "
+                    f"register_metrics(), or allow with a rationale"))
+            for m in SET_TELEMETRY_RE.finditer(fn.body):
+                lineno = line_of(sf.code, fn.start + m.start())
+                findings.append(Finding(
+                    sf.path, lineno, "partition-escape",
+                    f"set_telemetry() inside '{fn.name}' "
+                    f"({fn.tainted_via}): re-plumbing the shared plane "
+                    f"from the event core races every other partition; "
+                    f"install telemetry before the run starts"))
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -894,13 +1302,46 @@ def collect_files(root, paths):
     return sorted(set(rels))
 
 
-def run_checks(root, paths, checks):
+def write_json_report(path, checks, findings, files):
+    """Machine-readable findings dump (planck-lint-findings-v1), uploaded
+    as a CI artifact so the finding and allowance counts are tracked
+    PR-over-PR. Emitted whether or not the run is clean — a zero-count
+    document is the interesting data point."""
+    import json
+    line_allowances = sum(len(cs) for sf in files
+                          for cs in sf.allow_lines.values())
+    file_allowances = sum(len(sf.allow_file) for sf in files)
+    doc = {
+        "schema": "planck-lint-findings-v1",
+        "checks": sorted(checks),
+        "files_scanned": len(files),
+        "finding_count": len(findings),
+        "allowances": {"line": line_allowances, "file": file_allowances},
+        "findings": [
+            {"path": f.path, "line": f.line, "check": f.check,
+             "message": f.message}
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(doc, out, indent=1, sort_keys=True)
+        out.write("\n")
+
+
+def run_checks(root, paths, checks, scanned_out=None):
     files = [load_file(root, rel) for rel in collect_files(root, paths)]
+    if scanned_out is not None:
+        scanned_out.extend(files)
     findings = []
     if "unordered-iteration" in checks:
         check_unordered_iteration(files, findings)
     if "unpaired-enqueue" in checks:
         check_unpaired_enqueue(files, findings)
+    if "partition-escape" in checks:
+        check_partition_escape(
+            [sf for sf in files
+             if any(sf.path.startswith(p) for p in CONCURRENCY_SCOPE)],
+            findings)
     per_file_checks = {
         "wall-clock": check_wall_clock,
         "pointer-key": check_pointer_key,
@@ -911,6 +1352,8 @@ def run_checks(root, paths, checks):
         "raw-unit-field": check_raw_unit_field,
         "unit-mixing": check_unit_mixing,
         "bank-swap": check_bank_swap,
+        "mutable-global": check_mutable_global,
+        "guarded-field": check_guarded_field,
     }
     for sf in files:
         for check, fn in per_file_checks.items():
@@ -970,6 +1413,10 @@ def main(argv=None):
     parser.add_argument("--repo-root", default=REPO_ROOT)
     parser.add_argument("--checks", default=",".join(ALL_CHECKS),
                         help="comma-separated subset of checks to run")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write findings as planck-lint-findings-v1"
+                             " JSON (written even when clean; CI uploads it"
+                             " so counts are tracked PR-over-PR)")
     parser.add_argument("--list-checks", action="store_true")
     parser.add_argument("--selftest", action="store_true",
                         help="verify the tool against the seeded-violation "
@@ -989,7 +1436,10 @@ def main(argv=None):
         print(f"unknown checks: {', '.join(sorted(unknown))}", file=sys.stderr)
         return 2
     paths = args.paths or DEFAULT_PATHS
-    findings = run_checks(args.repo_root, paths, checks)
+    scanned = []
+    findings = run_checks(args.repo_root, paths, checks, scanned_out=scanned)
+    if args.json:
+        write_json_report(args.json, checks, findings, scanned)
     for f in findings:
         print(f.render())
     if findings:

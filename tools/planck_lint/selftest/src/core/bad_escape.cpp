@@ -1,0 +1,59 @@
+// Fixture: event-loop code reaching for the shared telemetry plane
+// (DESIGN.md section 12). A function from which a scheduling sink is
+// reachable executes inside the event loop — on the owning partition's
+// thread once the engine is partitioned — so dereferencing the process-
+// wide telemetry() handle there, or re-installing it mid-run, crosses the
+// partition boundary. This file is never compiled.
+
+#include "obs/telemetry.hpp"
+#include "sim/simulation.hpp"
+
+namespace planck::core {
+
+// Directly schedules, so it runs inside the event loop; the raw handle
+// grab crosses into the shared plane.
+void pump_probes(sim::Simulation& sim) {
+  sim.schedule(sim::microseconds(1), [] {});
+  obs::Telemetry* shared_plane = sim.telemetry();  // EXPECT-LINT: partition-escape
+  (void)shared_plane;
+}
+
+// Tainted transitively: it never schedules itself, but it calls
+// pump_probes(), so the same handle grab is just as unsafe.
+void drain_round(sim::Simulation& sim) {
+  pump_probes(sim);
+  obs::Telemetry* plane = sim.telemetry();  // EXPECT-LINT: partition-escape
+  (void)plane;
+}
+
+// Re-plumbing the shared plane from inside the event core races every
+// other partition's PLANCK_METRIC/PLANCK_TRACE access.
+void hot_swap_plane(sim::Simulation& sim, obs::Telemetry* plane) {
+  sim.schedule(sim::microseconds(1), [] {});
+  sim.set_telemetry(plane);  // EXPECT-LINT: partition-escape
+}
+
+// The sanctioned setup point: register_metrics() runs before any partition
+// thread exists, so the shared handle is safe here even though the
+// function also schedules the first poll tick. Clean.
+void register_metrics(sim::Simulation& sim) {
+  obs::Telemetry* plane = sim.telemetry();
+  (void)plane;
+  sim.schedule(sim::microseconds(1), [] {});
+}
+
+// Pure setup code: no scheduling sink is reachable from here, so this runs
+// before the event loop starts. Installing the plane is the point. Clean.
+void wire_plane(sim::Simulation& sim, obs::Telemetry* plane) {
+  sim.set_telemetry(plane);
+}
+
+// Escape hatch: an audited cross-partition read with a written rationale.
+void sample_watchdog(sim::Simulation& sim) {
+  sim.schedule(sim::microseconds(2), [] {});
+  // planck-lint: allow(partition-escape) — audited single-writer counter read
+  obs::Telemetry* plane = sim.telemetry();
+  (void)plane;
+}
+
+}  // namespace planck::core

@@ -1,0 +1,81 @@
+// Fixture: synchronization-owning classes that do not document what they
+// synchronize (DESIGN.md section 12). A mutex with zero PLANCK_GUARDED_BY
+// references is a lock nobody can audit; a plain field in a locked class
+// is state with no declared discipline; atomics mixed with plain fields
+// need an ownership claim. This file is never compiled.
+
+#include <atomic>
+#include <mutex>
+
+#include "sim/thread_annotations.hpp"
+
+namespace planck::obs {
+
+// A lock that guards nothing, next to a field nobody claims.
+class BadLockBox {
+ public:
+  void bump();
+
+ private:
+  std::mutex mu_;                        // EXPECT-LINT: guarded-field
+  long hit_tally_ = 0;                   // EXPECT-LINT: guarded-field
+};
+
+// Every field names its lock; the mutex is referenced. Clean.
+class GoodLockBox {
+ public:
+  void bump();
+
+ private:
+  std::mutex mu_;
+  long hit_tally_ PLANCK_GUARDED_BY(mu_) = 0;
+  double ewma_ PLANCK_GUARDED_BY(mu_) = 0.0;
+};
+
+// The capability-annotated wrapper counts as a mutex just like std::mutex.
+class BadWrappedLockBox {
+ private:
+  sim::Mutex mu_;                        // EXPECT-LINT: guarded-field
+  double ewma_ = 0.0;                    // EXPECT-LINT: guarded-field
+};
+
+// Atomics mixed with plain state and no declared ownership: a reader on
+// another thread sees the atomic move while `estimate_` tears.
+class BadAtomicMix {
+ private:
+  std::atomic<long> flushes_{0};
+  double estimate_ = 0.0;                // EXPECT-LINT: guarded-field
+};
+
+// Declared single-writer: the owning partition mutates, other threads only
+// read the atomics. Clean.
+class OwnedAtomicMix {
+ private:
+  PLANCK_PARTITION_OWNED;
+  std::atomic<long> flushes_{0};
+  double estimate_ = 0.0;
+};
+
+// Documented exception: the allowance (with rationale) suppresses the
+// plain-field finding; the guarded field keeps the mutex referenced.
+class AuditedLockBox {
+ private:
+  std::mutex mu_;
+  long hit_tally_ PLANCK_GUARDED_BY(mu_) = 0;
+  // planck-lint: allow(guarded-field) — scratch_ is ctor-only, never shared
+  long scratch_ = 0;
+};
+
+// Immutable and static members need no annotation. Clean.
+class ConstOnlyLockBox {
+ public:
+  void bump();
+
+ private:
+  std::mutex mu_;
+  long hit_tally_ PLANCK_GUARDED_BY(mu_) = 0;
+  const long capacity_ = 64;
+  static constexpr long kShardCount = 4;
+};
+
+}  // namespace planck::obs

@@ -1,0 +1,26 @@
+// Fixture: the audited-singleton escape hatch. A file-wide allowance with
+// a written rationale is the ONLY sanctioned way to keep static-storage
+// mutable state (DESIGN.md section 12) — e.g. a process-wide observability
+// registry that is written only before partition threads start and read
+// only after they join. Nothing in this file may be reported; if the
+// allow-file mechanism regressed, the selftest would see unexpected
+// mutable-global findings here. This file is never compiled.
+
+// planck-lint: allow-file(mutable-global) — audited singleton: the probe
+// registry below is written only during single-threaded setup (before any
+// partition thread is spawned) and read only after threads join; audited
+// for PR 8, re-audit when the thread-pool lands.
+
+#include <cstdint>
+
+namespace planck::obs {
+
+struct ProbeRegistry {
+  std::uint64_t probes_installed = 0;
+};
+
+ProbeRegistry g_probe_registry;
+
+std::uint64_t g_probe_epoch = 0;
+
+}  // namespace planck::obs

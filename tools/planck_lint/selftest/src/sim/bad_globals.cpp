@@ -1,0 +1,56 @@
+// Fixture: hidden shared mutable state — the exact thing the partitioned
+// engine (DESIGN.md section 12) cannot tolerate. Every future partition
+// thread sees the same static-storage object; a write from one partition
+// is a data race and a determinism leak in all of them. This file is
+// never compiled.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace planck::sim {
+
+int g_event_budget = 1024;                    // EXPECT-LINT: mutable-global
+std::vector<int> g_scratch;                   // EXPECT-LINT: mutable-global
+inline std::uint64_t g_next_id = 0;           // EXPECT-LINT: mutable-global
+static double g_drift = 0.0;                  // EXPECT-LINT: mutable-global
+extern int g_shared_epoch;                    // EXPECT-LINT: mutable-global
+
+// Immutable static storage is shareable and must NOT be flagged.
+constexpr int kMaxPartitions = 64;
+const std::uint64_t kSeedMask = 0xffffULL;
+inline constexpr double kAlpha = 0.8;
+
+long sequence_number() {
+  static long counter = 0;                    // EXPECT-LINT: mutable-global
+  return ++counter;
+}
+
+const std::string& cached_banner() {
+  // Function-local static const: initialized once, immutable after;
+  // must NOT be flagged.
+  static const std::string banner = "planck";
+  return banner;
+}
+
+class WheelShard {
+ public:
+  static std::uint32_t live_shards_;          // EXPECT-LINT: mutable-global
+  static constexpr std::uint32_t kSlots = 8192;
+
+  // Static member *functions* are code, not state: not flagged.
+  static int slot_of(long when) { return static_cast<int>(when & 0xfff); }
+
+ private:
+  // Per-instance state is the fix the check points at: fine.
+  std::uint64_t cursor_ = 0;
+};
+
+// Out-of-class definition of the mutable static member.
+std::uint32_t WheelShard::live_shards_ = 0;   // EXPECT-LINT: mutable-global
+
+// Suppressed with a rationale: must NOT be reported.
+// planck-lint: allow(mutable-global) — fixture-audited registry probe
+int g_audited_probe = 0;
+
+}  // namespace planck::sim
