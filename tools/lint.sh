@@ -4,6 +4,12 @@
 #   tools/lint.sh                       run everything available here
 #   tools/lint.sh --fast                planck-lint only (no clang tooling)
 #   tools/lint.sh --fix                 rewrite style in place (clang-format -i)
+#   tools/lint.sh --changed-only REF    planck-lint reports findings only for
+#                                       files changed vs git REF (the whole
+#                                       tree is still parsed, so whole-program
+#                                       checks stay sound); implies --fast
+#   tools/lint.sh --json FILE           also write planck-lint findings +
+#                                       cache stats as JSON to FILE
 #   tools/lint.sh --require-clang-tools fail (not skip) when clang tooling
 #                                       is missing — CI uses this so a broken
 #                                       tool install cannot silently pass
@@ -37,20 +43,34 @@ cd "$repo_root"
 fast=0
 fix=0
 require_clang_tools=0
-for arg in "$@"; do
-  case "$arg" in
+changed_base=""
+json_out=""
+while [ "$#" -gt 0 ]; do
+  case "$1" in
     --fast) fast=1 ;;
     --fix) fix=1 ;;
     --require-clang-tools) require_clang_tools=1 ;;
+    --changed-only)
+      [ "$#" -ge 2 ] || { echo "lint.sh: --changed-only needs a git ref" >&2; exit 2; }
+      changed_base="$2"
+      fast=1  # incremental runs are the inner dev loop; clang stages stay full-tree
+      shift
+      ;;
+    --json)
+      [ "$#" -ge 2 ] || { echo "lint.sh: --json needs an output path" >&2; exit 2; }
+      json_out="$2"
+      shift
+      ;;
     -h|--help)
-      sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,36p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
-      echo "lint.sh: unknown argument '$arg' (try --help)" >&2
+      echo "lint.sh: unknown argument '$1' (try --help)" >&2
       exit 2
       ;;
   esac
+  shift
 done
 
 status=0
@@ -112,10 +132,24 @@ else
 fi
 
 note "planck-lint"
-if python3 tools/planck_lint/planck_lint.py; then
+lint_args=(--stats)
+[ -n "$changed_base" ] && lint_args+=(--changed-only "$changed_base")
+[ -n "$json_out" ] && lint_args+=(--json "$json_out")
+if python3 tools/planck_lint/planck_lint.py "${lint_args[@]}"; then
   record planck-lint PASS
 else
   record planck-lint FAIL
+fi
+
+# The ownership map is a whole-tree artifact; skip its golden check when
+# the run is scoped to a diff.
+if [ -z "$changed_base" ]; then
+  note "ownership-map golden"
+  if python3 tools/planck_lint/check_ownership_golden.py; then
+    record ownership-map PASS
+  else
+    record ownership-map FAIL
+  fi
 fi
 
 if [ "$fast" -eq 1 ]; then

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Golden-file test for the ownership-map-v1 artifact.
+
+Asserts two properties of `planck_lint.py --ownership-map`:
+
+  1. Determinism: two generations over the same tree are byte-identical
+     (the artifact carries no timestamps, hashes, or iteration-order
+     noise) — cache state must not leak into the output.
+  2. Stability of the *semantic* surface: the component -> partition-class
+     assignment, the set of PLANCK_PARTITION_OWNED symbols, and the
+     boundary-crossing edge list (from-component --via API--> to-component)
+     must match the checked-in snapshot ownership_map.golden.json.
+
+Site lists and line numbers are deliberately NOT pinned — they churn with
+every edit; the golden protects the partition *model*, not the line map.
+
+Update procedure (after an intentional model change — a new owned class,
+a new boundary crossing, a re-homed component):
+
+    python3 tools/planck_lint/check_ownership_golden.py --update
+    git diff tools/planck_lint/ownership_map.golden.json   # review!
+    # commit the golden together with the change that caused it
+
+A diff here is a partition-model change and belongs in the PR description.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOL_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.normpath(os.path.join(TOOL_DIR, "..", ".."))
+GOLDEN_PATH = os.path.join(TOOL_DIR, "ownership_map.golden.json")
+LINT = os.path.join(TOOL_DIR, "planck_lint.py")
+
+
+def generate(out_path):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--ownership-map", out_path],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    if proc.returncode not in (0, 1):  # 1 = findings, still writes the map
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"planck-lint failed (exit {proc.returncode})")
+    with open(out_path, "rb") as f:
+        return f.read()
+
+
+def summarize(doc):
+    """The pinned surface of an ownership-map-v1 document."""
+    return {
+        "schema": doc["schema"],
+        "components": {
+            name: data["partition_class"]
+            for name, data in sorted(doc["components"].items())
+        },
+        "owned_symbols": sorted(
+            s["symbol"] for s in doc["symbols"] if s["partition_owned"]),
+        "boundary_edges": sorted(
+            f"{e['from_component']}({e['from_partition_class']}) "
+            f"--{e['via']}--> "
+            f"{e['to_component']}({e['to_partition_class']})"
+            for e in doc["boundary_edges"]),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the golden from the current tree")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        first = generate(os.path.join(tmp, "map1.json"))
+        second = generate(os.path.join(tmp, "map2.json"))
+    if first != second:
+        print("FAIL: two ownership-map generations differ byte-for-byte — "
+              "nondeterminism in the artifact", file=sys.stderr)
+        return 1
+    print("ownership map: two generations byte-identical")
+
+    summary = summarize(json.loads(first))
+    if args.update:
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as f:
+            json.dump(summary, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"golden updated: {os.path.relpath(GOLDEN_PATH, REPO_ROOT)} "
+              f"— review the diff and commit it with the model change")
+        return 0
+
+    if not os.path.exists(GOLDEN_PATH):
+        print(f"FAIL: golden missing ({GOLDEN_PATH}); run with --update",
+              file=sys.stderr)
+        return 1
+    with open(GOLDEN_PATH, encoding="utf-8") as f:
+        golden = json.load(f)
+    if summary == golden:
+        print(f"ownership map matches golden: "
+              f"{len(summary['components'])} components, "
+              f"{len(summary['owned_symbols'])} owned symbols, "
+              f"{len(summary['boundary_edges'])} boundary edges")
+        return 0
+
+    for key in ("schema", "components", "owned_symbols", "boundary_edges"):
+        if summary.get(key) != golden.get(key):
+            print(f"FAIL: ownership map '{key}' diverged from golden:",
+                  file=sys.stderr)
+            print(f"  golden:  {golden.get(key)}", file=sys.stderr)
+            print(f"  current: {summary.get(key)}", file=sys.stderr)
+    print("If this change is intentional, run "
+          "`python3 tools/planck_lint/check_ownership_golden.py --update` "
+          "and commit the golden with it (see the file docstring).",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,190 @@
+"""lock-order: whole-program lock-acquisition-order cycle detection.
+
+Builds a lock graph from every sim::MutexLock scope the IR recorded:
+node = mutex identity (owner-qualified member name), edge L -> M = "M is
+acquired while L is held", either directly in the same lexical scope or
+transitively through a call made while L is held. A cycle in that graph
+is a deadlock schedule waiting for the partitioned engine to find it.
+"""
+
+import re
+
+from ..ir import CALL_NAME_RE, CONTROL_KEYWORDS
+from ..ownership import GENERIC_METHOD_NAMES
+
+LOCK_TAINT_KEY = "lock-order"
+
+BARE_MEMBER_RE = re.compile(r"^[A-Za-z_]\w*$")
+
+
+def mutex_node(fn, expr):
+    """Stable mutex identity for an acquisition expression. A bare member
+    name is qualified by the owning class (every instance of Foo locking
+    its own mu_ follows one order, so one node per class member is the
+    right granularity for order analysis); qualified expressions
+    (other.mu_, registry_->mu_) keep their spelled receiver path."""
+    expr = re.sub(r"\s+", "", expr)
+    if BARE_MEMBER_RE.match(expr) and fn.owner:
+        return f"{fn.owner}::{expr}"
+    return expr
+
+
+def brace_pairs(body):
+    """(open, close) offset pairs for every brace scope in a function
+    body, for locating the lexical extent a MutexLock is held."""
+    pairs, stack = [], []
+    for i, c in enumerate(body):
+        if c == "{":
+            stack.append(i)
+        elif c == "}" and stack:
+            pairs.append((stack.pop(), i))
+    return pairs
+
+
+def held_extent(body, pairs, offset):
+    """End offset of the innermost brace scope containing `offset` — the
+    point where the MutexLock destructor releases."""
+    end = len(body)
+    for o, c in pairs:
+        if o < offset < c and c < end:
+            end = c
+    return end
+
+
+def transitive_locks(functions, by_name):
+    """Fixpoint: full set of mutex nodes each function may acquire,
+    directly or through any call (name-based, unioned over same-named
+    targets — conservative in the direction that finds cycles)."""
+    acquired = {id(fn): {mutex_node(fn, e) for _o, e in fn.locks}
+                for fn in functions}
+    changed = True
+    while changed:
+        changed = False
+        for fn in functions:
+            acc = acquired[id(fn)]
+            before = len(acc)
+            for callee in fn.calls:
+                if callee in GENERIC_METHOD_NAMES:
+                    continue  # container clear()/insert(): do not guess
+                for target in by_name.get(callee, ()):
+                    acc |= acquired[id(target)]
+            if len(acc) != before:
+                changed = True
+    return acquired
+
+
+def check_lock_order(ctx):
+    scoped = ctx.scoped_files("lock-order")
+    paths = {sf.path for sf in scoped}
+    functions = ctx.program.functions(paths)
+    by_name = {}
+    for fn in functions:
+        by_name.setdefault(fn.name, []).append(fn)
+    acquired = transitive_locks(functions, by_name)
+
+    # edges[(held, taken)] -> [(sf, abs_offset, description)]
+    edges = {}
+    for sf in scoped:
+        for fn in ctx.ir(sf).functions:
+            if not fn.locks:
+                continue
+            pairs = brace_pairs(fn.body)
+            for off, expr in fn.locks:
+                held = mutex_node(fn, expr)
+                end = held_extent(fn.body, pairs, off)
+                window = fn.body[off:end]
+                # Direct: another MutexLock inside this one's scope.
+                for off2, expr2 in fn.locks:
+                    if off < off2 < end:
+                        taken = mutex_node(fn, expr2)
+                        edges.setdefault((held, taken), []).append(
+                            (sf, fn.start + off2,
+                             f"'{taken}' acquired in '{fn.name}' while "
+                             f"'{held}' is held"))
+                # Transitive: a call made under the lock that acquires more.
+                for cm in CALL_NAME_RE.finditer(window):
+                    callee = cm.group(1)
+                    # MutexLock is the guard declaration itself; the lock
+                    # primitives are how a mutex is implemented, not a
+                    # nested acquisition; generic container names would
+                    # attribute std:: calls to same-named methods.
+                    if (callee in CONTROL_KEYWORDS or
+                            callee in ("MutexLock", "lock", "unlock",
+                                       "try_lock") or
+                            callee in GENERIC_METHOD_NAMES):
+                        continue
+                    for target in by_name.get(callee, ()):
+                        for taken in acquired[id(target)]:
+                            edges.setdefault((held, taken), []).append(
+                                (sf, fn.start + off + cm.start(),
+                                 f"'{callee}()' called in '{fn.name}' "
+                                 f"while '{held}' is held acquires "
+                                 f"'{taken}'"))
+
+    # Tarjan SCC over the lock graph; any SCC with a cycle (size > 1, or a
+    # self-edge) is a deadlock schedule.
+    graph = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    index, low, on_stack, stack = {}, {}, set(), []
+    sccs, counter = [], [0]
+
+    def strongconnect(v):
+        work = [(v, iter(sorted(graph[v])))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.add(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+
+    reported = set()
+    for scc in sccs:
+        cyclic = len(scc) > 1 or any((v, v) in edges for v in scc)
+        if not cyclic:
+            continue
+        cycle_desc = " -> ".join(sorted(scc)) + " -> " + min(sorted(scc))
+        for (a, b), sites in sorted(edges.items()):
+            if a in scc and b in scc:
+                for sf, off, desc in sites:
+                    key = (sf.path, off)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    ctx.add(sf, off, "lock-order",
+                            f"lock-order cycle ({cycle_desc}): {desc}; two "
+                            f"threads interleaving these acquisitions "
+                            f"deadlock — impose one global acquisition "
+                            f"order or merge the critical sections")

@@ -1,0 +1,207 @@
+"""Partition-boundary checks (DESIGN.md section 13): the whole-program
+gate in front of the sharded engine.
+
+  cross-partition-write   a write to a PLANCK_PARTITION_OWNED component's
+                          state reached from another partition class's
+                          event-loop code, not routed through an approved
+                          boundary API (link delivery, ControlChannel RPC,
+                          collector ingest).
+  lookahead-violation     a schedule()/timer delay on a partition-boundary
+                          path that is not provably >= the conservative
+                          propagation-delay lookahead.
+  blocking-in-partition   a blocking call (file I/O, sleep, mutex
+                          acquisition outside the shared obs plane) in
+                          event-loop-reachable code.
+"""
+
+import re
+
+from .. import ownership
+from ..ir import match_paren, split_top_level
+
+SRC_TAINT_KEY = "src-event-loop"
+
+
+def _src_taint(ctx):
+    paths = {sf.path for sf in ctx.files if sf.path.startswith("src/")}
+    return ctx.program.taint(SRC_TAINT_KEY, paths)
+
+
+# --------------------------------------------------------------------------
+# cross-partition-write
+# --------------------------------------------------------------------------
+
+CALL_SITE_RE = re.compile(r"(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+
+
+def check_cross_partition_write(ctx):
+    """For every PLANCK_PARTITION_OWNED class the ownership model knows the
+    set of mutating methods whose name resolves to exactly one class (the
+    name-based analysis refuses to guess on ambiguous or generic names).
+    Calling one of them with a `.`/`->` receiver from another partition
+    class's event-loop-reachable code is a cross-partition write unless the
+    method is one of the three approved boundary APIs. Harness code
+    (workload wiring, fault planner) runs single-threaded on the
+    coordinator and is exempt as a source; the shared obs plane is policed
+    by guarded-field/Clang thread-safety instead."""
+    model = ctx.model
+    tainted = _src_taint(ctx)
+    for sf in ctx.scoped_files("cross-partition-write"):
+        from_class = ownership.partition_class_of(sf.path)
+        if not from_class or from_class in ownership.EXEMPT_SOURCE_CLASSES:
+            continue
+        for fn in ctx.ir(sf).functions:
+            via = tainted.get(id(fn))
+            if not via:
+                continue
+            for m in CALL_SITE_RE.finditer(fn.body):
+                method = m.group(1)
+                target = model.owned_mutators.get(method)
+                if target is None:
+                    continue
+                if target.partition_class == from_class:
+                    continue
+                boundary = ownership.BOUNDARY_APIS.get(target.info.name, ())
+                if method in boundary:
+                    continue
+                ctx.add(sf, fn.start + m.start(), "cross-partition-write",
+                        f"'{method}()' mutates partition-owned "
+                        f"'{target.info.name}' ({target.component}/"
+                        f"{target.partition_class}) from {from_class} "
+                        f"event-loop code in '{fn.name}' ({via}); "
+                        f"cross-partition writes must ride an approved "
+                        f"boundary API (Link::transmit, "
+                        f"ControlChannel::send/call, Collector ingest) or "
+                        f"carry an audited allowance")
+
+
+# --------------------------------------------------------------------------
+# lookahead-violation
+# --------------------------------------------------------------------------
+
+SCHEDULE_CALL_RE = re.compile(
+    r"(?:\.|->|::)\s*(schedule(?:_at|_packet|_call(?:_at)?)?)\s*\(")
+
+# A delay expression is provably >= the synchronization horizon when it is
+# built from a named horizon quantity. The token list is the contract: a
+# boundary delay must be *named* after the bound it derives from.
+LOOKAHEAD_TOKEN_RE = re.compile(
+    r"propagation|latency|timeout|interval|lookahead|horizon|backoff|"
+    r"deadline|rtt\b")
+
+NUMERIC_LITERAL_RE = re.compile(r"^[+-]?\d[\d']*(?:\.\d+)?(?:[uUlLfF]*)$")
+
+
+def check_lookahead_violation(ctx):
+    """The sharded engine batches cross-partition deliveries at the link
+    propagation-delay horizon (conservative lookahead — ROADMAP). A
+    boundary API that schedules below that horizon would force the
+    partitions into lockstep (or, worse, deliver into a partition's past).
+    Every schedule call inside a boundary-API class (Link, ControlChannel,
+    Collector) must therefore carry a delay expression that is provably >=
+    the lookahead: zero/negative/raw-literal delays are errors, and an
+    unrecognizable expression must be renamed after the horizon quantity it
+    derives from or carry an audited allowance."""
+    boundary_classes = set(ownership.BOUNDARY_APIS)
+    for sf in ctx.scoped_files("lookahead-violation"):
+        for fn in ctx.ir(sf).functions:
+            if fn.owner not in boundary_classes:
+                continue
+            for m in SCHEDULE_CALL_RE.finditer(fn.body):
+                open_idx = m.end() - 1
+                close = match_paren(fn.body, open_idx)
+                if close < 0:
+                    continue
+                args = split_top_level(fn.body[open_idx + 1:close], ",")
+                if not args:
+                    continue
+                delay = args[0].strip()
+                where = (f"'{m.group(1)}()' in boundary API "
+                         f"'{fn.owner}::{fn.name}'")
+                off = fn.start + m.start()
+                if NUMERIC_LITERAL_RE.match(delay):
+                    value = float(delay.replace("'", "").rstrip("uUlLfF"))
+                    if value <= 0:
+                        ctx.add(sf, off, "lookahead-violation",
+                                f"{where} schedules with zero/negative "
+                                f"delay '{delay}': a boundary delivery "
+                                f"below the propagation-delay lookahead "
+                                f"breaks the conservative synchronization "
+                                f"horizon (DESIGN.md section 13)")
+                    else:
+                        ctx.add(sf, off, "lookahead-violation",
+                                f"{where} schedules with raw literal delay "
+                                f"'{delay}': not provably >= the "
+                                f"propagation-delay lookahead; derive the "
+                                f"delay from a named horizon quantity "
+                                f"(propagation/latency/timeout/interval)")
+                    continue
+                if delay.startswith("-"):
+                    ctx.add(sf, off, "lookahead-violation",
+                            f"{where} schedules with negated delay "
+                            f"'{delay}': unbounded below; a boundary "
+                            f"delivery must stay >= the propagation-delay "
+                            f"lookahead")
+                    continue
+                if LOOKAHEAD_TOKEN_RE.search(delay):
+                    continue
+                ctx.add(sf, off, "lookahead-violation",
+                        f"{where} schedules with delay '{delay}', which "
+                        f"names no horizon quantity "
+                        f"(propagation/latency/timeout/interval/lookahead): "
+                        f"not provably >= the conservative lookahead; "
+                        f"rename the quantity or add an audited allowance")
+
+
+# --------------------------------------------------------------------------
+# blocking-in-partition
+# --------------------------------------------------------------------------
+
+BLOCKING_PATTERNS = [
+    (re.compile(r"\bstd::this_thread::sleep_(?:for|until)\b|"
+                r"(?<![\w:])(?:usleep|nanosleep)\s*\(|"
+                r"(?<![\w:.])sleep\s*\("),
+     "sleep", "a sleeping partition thread stalls every partition waiting "
+              "at the next lookahead barrier"),
+    (re.compile(r"\bstd::[io]?fstream\b|\bstd::(?:FILE|fopen|fread|fwrite|"
+                r"fprintf|fgets|fflush)\b|"
+                r"(?<![\w:])(?:fopen|fread|fwrite|fprintf|fgets|fflush)\s*\(|"
+                r"\bstd::cin\b|\bstd::getline\b"),
+     "file I/O", "disk latency inside the event loop destroys the "
+                 "millisecond control-loop budget; buffer in memory and "
+                 "flush between runs"),
+    (re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+                r"\bcondition_variable\b|"
+                r"(?:\.|->)\s*wait(?:_for|_until)?\s*\("),
+     "blocking synchronization",
+     "event-loop code may only synchronize through the lock-disciplined "
+     "obs plane or the engine's boundary queues"),
+]
+
+MUTEX_ACQ_NOTE = ("sim::MutexLock acquisition outside src/obs/: partition "
+                  "code must not contend on locks in the event loop — the "
+                  "boundary queues and the obs plane are the sanctioned "
+                  "synchronization points")
+
+
+def check_blocking_in_partition(ctx):
+    """Blocking primitives in event-loop-reachable code (the taint walk
+    from the scheduling sinks). The obs plane is path-exempt: its short
+    lock scopes are the sanctioned shared-plane discipline, enforced by
+    guarded-field and Clang -Wthread-safety instead."""
+    tainted = _src_taint(ctx)
+    for sf in ctx.scoped_files("blocking-in-partition"):
+        for fn in ctx.ir(sf).functions:
+            via = tainted.get(id(fn))
+            if not via:
+                continue
+            for pattern, what, why in BLOCKING_PATTERNS:
+                for m in pattern.finditer(fn.body):
+                    ctx.add(sf, fn.start + m.start(), "blocking-in-partition",
+                            f"{what} ('{m.group(0).strip()}') in "
+                            f"'{fn.name}' ({via}), which executes inside "
+                            f"the event loop: {why}")
+            for off, expr in fn.locks:
+                ctx.add(sf, fn.start + off, "blocking-in-partition",
+                        f"sim::MutexLock({expr}) in '{fn.name}' ({via}): "
+                        f"{MUTEX_ACQ_NOTE}")

@@ -1,0 +1,431 @@
+"""Structural IR: one linear pass per file, shared by every check.
+
+The seed linter re-derived functions per check (three separate
+extractions) and classified every brace against the full file prefix,
+which made a full-tree run quadratic (~51 s on the PR-8 tree). This
+module scans each file once:
+
+  * every brace is classified (namespace / class / function / other) from
+    a bounded statement head, with the enclosing namespace and class
+    tracked on a stack;
+  * function bodies get their owner class — from the enclosing class body
+    for inline definitions, from the `Cls::method` qualifier for
+    out-of-line ones — which the lock-order and lookahead checks key on;
+  * call names, scheduling sinks and sim::MutexLock acquisition sites are
+    collected per function.
+
+ProgramIR then builds the whole-program view: a name-based call graph and
+memoized reachability fixpoints (event-loop taint, release-reachability),
+each computed at most once per (analysis, file-scope) pair per run.
+"""
+
+import bisect
+import re
+from dataclasses import dataclass, field
+
+# Scheduling sinks: member/qualified calls through which hash order would
+# become event order. push_back/push_front are not sinks (the (?!_) guard).
+SINK_RE = re.compile(
+    r"(?:\.|->|::)\s*"
+    r"(schedule(?:_at|_packet|_call(?:_at)?)?|push(?:_packet|_call)?(?!_)|send|call)"
+    r"\s*\(")
+
+CALL_NAME_RE = re.compile(r"(?:\.|->|::|\b)([A-Za-z_]\w*)\s*\(")
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "sizeof",
+                    "alignof", "decltype", "static_assert", "assert"}
+
+# RAII lock acquisition: `sim::MutexLock guard(expr)` (or unqualified
+# MutexLock inside planck::sim). The expression names the mutex.
+MUTEX_LOCK_RE = re.compile(
+    r"\b(?:sim::)?MutexLock\s+[A-Za-z_]\w*\s*[({]\s*([^;)}]*?)\s*[)}]")
+
+FUNC_TRAILER_RE = re.compile(r"(?:\s*(?:const|noexcept|override|final|mutable))*$")
+TRAILING_RETURN_RE = re.compile(r"->\s*[\w:<>&*\s]+$")
+NAMESPACE_HEAD_RE = re.compile(
+    r"(?:\binline\s+)?\bnamespace\b(?:\s+([\w:]+))?\s*$|\bextern\s*$")
+CLASS_STMT_RE = re.compile(r"\b(class|struct|union)\b")
+# The optional PLANCK_* group skips attribute macros between the keyword
+# and the name (class PLANCK_CAPABILITY("mutex") Mutex, ...).
+CLASS_NAME_RE = re.compile(
+    r"\b(?:class|struct|union)\s+(?:PLANCK_\w+\s*(?:\([^)]*\)\s*)?)?"
+    r"([A-Za-z_]\w*)")
+NAME_BEFORE_PAREN_RE = re.compile(r"([A-Za-z_~]\w*)\s*$")
+OWNER_QUAL_RE = re.compile(r"([A-Za-z_]\w*)\s*::\s*$")
+
+
+@dataclass
+class Function:
+    name: str
+    path: str
+    start: int  # offset of body '{' in file code
+    end: int  # offset of matching '}'
+    body: str
+    owner: str = ""  # owning class ('' for free functions)
+    has_sink: bool = False
+    calls: set = field(default_factory=set)
+    locks: list = field(default_factory=list)  # (offset-in-body, mutex expr)
+
+    @property
+    def qual(self):
+        return f"{self.owner}::{self.name}" if self.owner else self.name
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    path: str
+    kind: str  # class | struct | union
+    namespace: str  # enclosing namespace chain, '::'-joined
+    enclosing: str  # enclosing class name, '' at namespace scope
+    decl: int  # offset of the statement head
+    body_open: int
+    body_close: int
+
+    @property
+    def qual(self):
+        parts = [p for p in (self.namespace, self.enclosing, self.name) if p]
+        return "::".join(parts)
+
+
+@dataclass
+class FileIR:
+    path: str
+    functions: list = field(default_factory=list)
+    classes: list = field(default_factory=list)
+    # (open_offset, close_offset, kind) per brace, in open order; kind is
+    # namespace | class | function | other.
+    braces: list = field(default_factory=list)
+
+
+def mask_nested_braces(body):
+    """Returns `body` with everything below its top brace level blanked
+    (newlines kept), so member scans do not see method bodies, nested
+    classes, or default-initializer innards."""
+    out = list(body)
+    depth = 0
+    for i, c in enumerate(body):
+        if c == "{":
+            depth += 1
+            if depth > 1 and body[i] != "\n":
+                out[i] = " "
+        elif c == "}":
+            if depth > 1 and body[i] != "\n":
+                out[i] = " "
+            depth -= 1
+        elif depth > 1 and c != "\n":
+            out[i] = " "
+    return "".join(out)
+
+
+def match_paren(code, open_idx, open_ch="(", close_ch=")"):
+    """Index of the matching close for the opener at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def match_angle(code, open_idx):
+    """Match '<'...'>' treating template nesting; bails out on suspicious
+    characters so comparison expressions are not mistaken for templates."""
+    depth = 0
+    i = open_idx
+    while i < len(code):
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif c in ";{}":
+            return -1
+        i += 1
+    return -1
+
+
+def split_top_level(text, sep):
+    parts, depth, last = [], 0, 0
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth -= 1
+        elif c == sep and depth == 0:
+            if sep == ":" and i + 1 < len(text) and text[i + 1] == ":":
+                i += 2
+                continue
+            if sep == ":" and i > 0 and text[i - 1] == ":":
+                i += 1
+                continue
+            parts.append(text[last:i])
+            last = i + 1
+        i += 1
+    parts.append(text[last:])
+    return parts
+
+
+def _statement_head(code, brace, window=3000):
+    """Text between the previous structural boundary (; { }) and `brace`,
+    falling back to a fixed window when the boundary is further away (long
+    multi-line signatures with brace default arguments)."""
+    lo = max(0, brace - window)
+    seg = code[lo:brace]
+    for boundary in ";{}":
+        idx = seg.rfind(boundary)
+        if idx >= 0:
+            lo_candidate = lo + idx + 1
+            lo = max(lo, lo_candidate)
+            seg = code[lo:brace]
+    return seg, lo
+
+
+def _classify_and_name(code, brace):
+    """Classification of the '{' at `brace` plus the facts the scanner
+    needs: ('function', name, owner_qualifier), ('namespace', ns_name, ''),
+    ('class', class_name, kind), or ('other', '', '')."""
+    head, head_lo = _statement_head(code, brace)
+    head = head.rstrip()
+    m = NAMESPACE_HEAD_RE.search(head)
+    if m:
+        return "namespace", (m.group(1) or ""), ""
+    stripped = FUNC_TRAILER_RE.sub("", head)
+    stripped = TRAILING_RETURN_RE.sub("", stripped).rstrip()
+    if stripped.endswith(")") or stripped.endswith("]"):
+        # A ')' head is a function body, lambda, or control-flow block.
+        name, owner = _function_name(code, head_lo + len(stripped), brace)
+        return "function", name, owner
+    stmt = head  # the statement head this brace terminates
+    if re.search(r"\benum\b", stmt):
+        return "other", "", ""
+    # Attribute-style annotation macros (PLANCK_CAPABILITY("mutex"), ...)
+    # sit between the class keyword and the name; drop them before
+    # deciding whether the head is a class declaration.
+    stmt = re.sub(r"\bPLANCK_\w+\s*(?:\([^()]*\)\s*)?", "", stmt)
+    if CLASS_STMT_RE.search(stmt) and "(" not in stmt:
+        nm = CLASS_NAME_RE.search(stmt)
+        if nm:
+            kind = CLASS_STMT_RE.search(stmt).group(1)
+            return "class", nm.group(1), kind
+    return "other", "", ""
+
+
+def _function_name(code, head_end, brace):
+    """Resolve the identifier (and `Cls::` qualifier) in front of the '('
+    that matches the ')' closing the head. Returns ('', '') for lambdas,
+    control-flow blocks and casts."""
+    # Reverse scan from head_end-1 (a ')' or ']') for the matching opener.
+    close_ch = code[head_end - 1] if head_end > 0 else ")"
+    open_ch = "(" if close_ch == ")" else "["
+    if close_ch not in ")]":
+        return "", ""
+    depth = 0
+    open_idx = -1
+    lo = max(0, brace - 6000)
+    for i in range(head_end - 1, lo - 1, -1):
+        c = code[i]
+        if c == close_ch:
+            depth += 1
+        elif c == open_ch:
+            depth -= 1
+            if depth == 0:
+                open_idx = i
+                break
+    if open_idx <= 0 or open_ch == "[":
+        return "", ""
+    name_m = NAME_BEFORE_PAREN_RE.search(code, lo, open_idx)
+    if not name_m or name_m.end() != _rstrip_end(code, open_idx, lo):
+        return "", ""
+    name = name_m.group(1)
+    if name in CONTROL_KEYWORDS:
+        return "", ""
+    owner_m = OWNER_QUAL_RE.search(code, lo, name_m.start())
+    owner = owner_m.group(1) if owner_m and \
+        owner_m.end() == _rstrip_end(code, name_m.start(), lo) else ""
+    return name, owner
+
+
+def _rstrip_end(code, end, lo):
+    i = end
+    while i > lo and code[i - 1].isspace():
+        i -= 1
+    return i
+
+
+def build_file_ir(sf):
+    """Single structural pass over a stripped file."""
+    code = sf.code
+    ir = FileIR(path=sf.path)
+    ns_stack = []  # namespace names ('' for anonymous/extern)
+    class_stack = []  # ClassInfo
+    ctx_stack = []  # parallels open braces: ('ns'|'class'|'other', payload)
+    skip_until = -1
+
+    for m in re.finditer(r"[{}]", code):
+        i = m.start()
+        if i < skip_until:
+            continue
+        if code[i] == "}":
+            if ctx_stack:
+                kind, payload = ctx_stack.pop()
+                if kind == "namespace":
+                    for _ in range(payload):
+                        if ns_stack:
+                            ns_stack.pop()
+                elif kind == "class":
+                    if class_stack:
+                        class_stack.pop()
+            continue
+        kind, name, extra = _classify_and_name(code, i)
+        if kind == "function" and name:
+            close = match_paren(code, i, "{", "}")
+            if close < 0:
+                ctx_stack.append(("other", None))
+                ir.braces.append((i, -1, "function"))
+                continue
+            body = code[i:close + 1]
+            owner = extra or (class_stack[-1].name if class_stack else "")
+            fn = Function(name=name, path=sf.path, start=i, end=close,
+                          body=body, owner=owner)
+            fn.has_sink = SINK_RE.search(body) is not None
+            fn.calls = {c for c in CALL_NAME_RE.findall(body)
+                        if c not in CONTROL_KEYWORDS}
+            fn.locks = [(lm.start(), lm.group(1).strip())
+                        for lm in MUTEX_LOCK_RE.finditer(body)]
+            ir.functions.append(fn)
+            ir.braces.append((i, close, "function"))
+            skip_until = close + 1
+            continue
+        if kind == "namespace":
+            parts = [p for p in name.split("::") if p] or [""]
+            ns_stack.extend(parts)
+            ctx_stack.append(("namespace", len(parts)))
+            ir.braces.append((i, -1, "namespace"))
+            continue
+        if kind == "class":
+            close = match_paren(code, i, "{", "}")
+            info = ClassInfo(
+                name=name, path=sf.path, kind=extra,
+                namespace="::".join(n for n in ns_stack if n),
+                enclosing=class_stack[-1].name if class_stack else "",
+                decl=i, body_open=i, body_close=close)
+            ir.classes.append(info)
+            class_stack.append(info)
+            ctx_stack.append(("class", info))
+            ir.braces.append((i, close, "class"))
+            continue
+        ctx_stack.append(("other", None))
+        ir.braces.append((i, -1, "other"))
+
+    return ir
+
+
+class ScopeIndex:
+    """Answers `enclosing brace kinds at offset` queries from the
+    scanner's brace events (replacement for the seed linter's per-offset
+    stacks array, which re-classified every brace against the full file
+    prefix). Braces the scanner skipped (inside function bodies) count as
+    'function' context."""
+
+    def __init__(self, ir, code):
+        opens = {o: k for o, _c, k in ir.braces}
+        self._offsets = []
+        self._post = []  # stack tuple after processing the brace at offset
+        stack = ()
+        for m in re.finditer(r"[{}]", code):
+            i = m.start()
+            if code[i] == "{":
+                stack = stack + (opens.get(i, "function"),)
+            else:
+                stack = stack[:-1] if stack else stack
+            self._offsets.append(i)
+            self._post.append(stack)
+
+    def stack_at(self, offset):
+        """Enclosing-context kinds at a non-brace offset, innermost last."""
+        idx = bisect.bisect_left(self._offsets, offset)
+        return self._post[idx - 1] if idx else ()
+
+
+class ProgramIR:
+    """Whole-program view over the scanned files: call graph + memoized
+    reachability fixpoints."""
+
+    def __init__(self, files, file_irs):
+        self.files = files  # [SourceFile]
+        self.by_path = {sf.path: sf for sf in files}
+        self.irs = {ir.path: ir for ir in file_irs}
+        self._taint_cache = {}
+        self._reach_cache = {}
+        self.class_registry = {}
+        for ir in file_irs:
+            for ci in ir.classes:
+                self.class_registry.setdefault(ci.name, []).append(ci)
+
+    def functions(self, paths=None):
+        out = []
+        for path, ir in sorted(self.irs.items()):
+            if paths is None or path in paths:
+                out.extend(ir.functions)
+        return out
+
+    def taint(self, scope_key, paths=None):
+        """{id(fn): reason} for functions from which a scheduling sink is
+        reachable through the name-based call graph restricted to `paths`
+        (a set of repo-relative paths, or None for every scanned file)."""
+        if scope_key in self._taint_cache:
+            return self._taint_cache[scope_key]
+        funcs = self.functions(paths)
+        tainted = self._fixpoint(
+            funcs,
+            seed=lambda fn: "direct scheduling call" if fn.has_sink else "",
+            via=lambda callee: f"calls {callee}()")
+        self._taint_cache[scope_key] = tainted
+        return tainted
+
+    def reaches(self, scope_key, body_re, paths=None):
+        """{id(fn): True} for functions from which a body match of
+        `body_re` is reachable through the call graph restricted to
+        `paths`."""
+        if scope_key in self._reach_cache:
+            return self._reach_cache[scope_key]
+        funcs = self.functions(paths)
+        reached = self._fixpoint(
+            funcs,
+            seed=lambda fn: "direct" if body_re.search(fn.body) else "",
+            via=lambda callee: "transitive")
+        self._reach_cache[scope_key] = reached
+        return reached
+
+    @staticmethod
+    def _fixpoint(funcs, seed, via):
+        by_name = {}
+        for fn in funcs:
+            by_name.setdefault(fn.name, []).append(fn)
+        state = {}
+        for fn in funcs:
+            s = seed(fn)
+            if s:
+                state[id(fn)] = s
+        changed = True
+        while changed:
+            changed = False
+            for fn in funcs:
+                if id(fn) in state:
+                    continue
+                for callee in fn.calls:
+                    targets = by_name.get(callee)
+                    if targets and any(id(t) in state for t in targets):
+                        state[id(fn)] = via(callee)
+                        changed = True
+                        break
+        return state

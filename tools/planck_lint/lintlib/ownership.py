@@ -1,0 +1,370 @@
+"""Partition-ownership model and the ownership-map-v1 artifact.
+
+The ROADMAP's sharded engine splits the fabric into topology partitions
+run on a thread pool with conservative propagation-delay lookahead. That
+only works if every piece of mutable state has exactly one owning
+partition class and all cross-partition traffic flows through the
+approved boundary APIs. This module is the single source of truth for
+that model:
+
+  component        top-level src/ subdirectory (sim, net, core, ...).
+  partition class  the thread domain a component's state lives in once
+                   the engine shards:
+                     engine     the per-partition event core (wheel, slab)
+                     fabric     data-plane state sharded per topology
+                                partition (links, switches, hosts, tcp)
+                     collector  the collector pipeline (own partition)
+                     control    controller + TE (own partition)
+                     shared     the telemetry plane, reachable from every
+                                partition under its own lock discipline
+                     harness    single-threaded drivers (workload wiring,
+                                fault planner, offline analysis) that run
+                                on the coordinator, outside any partition
+  boundary API     the three sanctioned cross-partition channels: link
+                   delivery (Link::transmit — batched at the propagation-
+                   delay horizon), ControlChannel RPC (send/call), and
+                   the collector ingest surface (handle_packet from the
+                   mirror stream, subscribe at setup time). Simulation /
+                   EventQueue scheduling is the mediator all three ride
+                   on, so the engine's own API is sanctioned by
+                   construction.
+
+The ownership-map-v1 JSON serializes this model plus what the scan
+actually found (owned symbols, their mutating API, every boundary-
+crossing call edge) and is the contract the sharded-engine PR consumes;
+the golden-file ctest pins the component set and edge list.
+
+Checked against DESIGN.md section 13 — update both together.
+"""
+
+import json
+import re
+
+from .ir import mask_nested_braces
+
+SCHEMA = "ownership-map-v1"
+
+# component -> partition class. Components absent here (new src/ subdirs)
+# land in "unassigned", which the cross-partition-write check treats as an
+# error-by-default fabric component and the golden ctest surfaces loudly.
+PARTITION_CLASS = {
+    "sim": "engine",
+    "net": "fabric",
+    "switchsim": "fabric",
+    "tcp": "fabric",
+    "core": "collector",
+    "controller": "control",
+    "te": "control",
+    "obs": "shared",
+    "stats": "shared",
+    "workload": "harness",
+    "fault": "harness",
+    "pcap": "harness",
+}
+
+# Partition classes whose code is exempt as a *source* of cross-partition
+# writes: harness code runs single-threaded on the coordinator (setup,
+# fault planning, offline analysis) before/around partition execution, and
+# the shared plane's discipline is enforced by guarded-field + Clang
+# thread-safety instead.
+EXEMPT_SOURCE_CLASSES = {"harness", "shared"}
+
+# The three approved boundary APIs (class -> methods). A cross-partition
+# call that is not one of these is a cross-partition-write finding.
+BOUNDARY_APIS = {
+    "Link": {"transmit"},
+    "ControlChannel": {"send", "call"},
+    "Collector": {"handle_packet", "subscribe_congestion"},
+}
+
+# Receiver-name hints for boundary-edge attribution when a method name is
+# declared by more than one class (e.g. handle_packet is the whole Node
+# interface): `collector->handle_packet(...)` is an ingest call,
+# `dst_->handle_packet(...)` is ordinary fabric dispatch.
+RECEIVER_HINTS = {
+    "Link": ("link",),
+    "ControlChannel": ("channel", "chan"),
+    "Collector": ("collector",),
+}
+
+# The engine mediator: scheduling *is* the sanctioned transport, so calls
+# into these classes are never cross-partition writes themselves (the
+# lookahead-violation check polices their delay arguments instead).
+MEDIATOR_CLASSES = {"Simulation", "EventQueue", "Timer"}
+
+# Method names too generic to attribute to one class by name alone; the
+# name-based analysis skips them rather than guess.
+GENERIC_METHOD_NAMES = {
+    "clear", "reset", "size", "empty", "begin", "end", "push_back",
+    "push_front", "pop_back", "pop_front", "insert", "erase", "emplace",
+    "emplace_back", "find", "count", "at", "get", "set", "add", "remove",
+    "start", "stop", "run", "init", "update", "name", "value", "swap",
+    "tick", "close", "open", "next", "done", "cancel",
+}
+
+METHOD_DECL_RE = re.compile(r"(~?[A-Za-z_]\w*)\s*\(")
+
+
+def component_of(path):
+    """Top-level src/ subdirectory, or '' for non-src files."""
+    parts = path.split("/")
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1]
+    return ""
+
+
+def partition_class_of(path):
+    comp = component_of(path)
+    if not comp:
+        return ""
+    return PARTITION_CLASS.get(comp, "unassigned")
+
+
+class ClassFacts:
+    """Per-class facts derived from the masked class body."""
+
+    def __init__(self, info, sf):
+        self.info = info
+        self.path = info.path
+        self.component = component_of(info.path)
+        self.partition_class = partition_class_of(info.path)
+        body = ""
+        if info.body_close > info.body_open:
+            body = mask_nested_braces(
+                sf.code[info.body_open:info.body_close + 1])
+        self.partition_owned = "PLANCK_PARTITION_OWNED" in body
+        self.mutating_methods, self.const_methods = _methods(body, info.name)
+
+    @property
+    def name(self):
+        return self.info.name
+
+
+TYPE_KEYWORDS = {"void", "bool", "int", "char", "double", "float", "long",
+                 "short", "unsigned", "signed", "auto", "size_t"}
+
+
+def _methods(masked_body, class_name):
+    """(mutating, const) method-name sets declared at class-body top
+    level. Conservative: a declaration whose close paren is followed by
+    `const` is const; ctors/dtors/operators/macros, ctor-initializer
+    entries (inline ctors keep their `: member_(...)` list at body top
+    level) and nested parameter types are skipped."""
+    mutating, const = set(), set()
+    for m in METHOD_DECL_RE.finditer(masked_body):
+        name = m.group(1)
+        if (name == class_name or name.startswith("~") or
+                name == "operator" or name.isupper() or
+                name in TYPE_KEYWORDS or
+                name in ("if", "for", "while", "switch", "return", "sizeof",
+                         "static_assert", "decltype", "explicit")):
+            continue
+        j = m.start() - 1
+        while j >= 0 and masked_body[j] in " \t\n":
+            j -= 1
+        # `: member_(x)` / `, member_(x)` is an initializer entry, `<T(`
+        # and `(T(` are nested types in a signature — not declarations.
+        # An access-specifier colon (`public: Name(...)`) still introduces
+        # real declarations, but those all start with a return type (ctors
+        # are skipped by name already), so a name directly after ':' is
+        # only ever an initializer entry.
+        if j >= 0 and masked_body[j] in ":,<(":
+            continue
+        if j >= 8 and masked_body[j - 7:j + 1] == "operator":
+            continue
+        # Find this declaration's close paren and peek at the trailer.
+        depth = 0
+        i = m.end() - 1
+        end = -1
+        while i < len(masked_body):
+            c = masked_body[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+            i += 1
+        if end < 0:
+            continue
+        trailer = masked_body[end + 1:end + 40]
+        if re.match(r"\s*const\b", trailer):
+            const.add(name)
+        else:
+            mutating.add(name)
+    return mutating, const
+
+
+class OwnershipModel:
+    """All ClassFacts for the scanned src/ tree, with the lookup tables the
+    partition checks and the map builder share."""
+
+    def __init__(self, program, files):
+        by_path = {sf.path: sf for sf in files}
+        self.classes = []  # [ClassFacts], src/ only
+        for path in sorted(program.irs):
+            if component_of(path) == "":
+                continue
+            ir = program.irs[path]
+            sf = by_path[path]
+            for info in ir.classes:
+                self.classes.append(ClassFacts(info, sf))
+
+        self.owned = [cf for cf in self.classes if cf.partition_owned]
+        # method name -> [ClassFacts] over ALL src classes (ambiguity base)
+        self.method_owners = {}
+        for cf in self.classes:
+            for name in cf.mutating_methods | cf.const_methods:
+                self.method_owners.setdefault(name, []).append(cf)
+        # Unambiguous mutating methods of partition-owned classes: the
+        # cross-partition-write trigger set.
+        self.owned_mutators = {}  # method -> ClassFacts
+        for cf in self.owned:
+            if cf.info.name in MEDIATOR_CLASSES:
+                continue
+            for name in cf.mutating_methods:
+                if name in GENERIC_METHOD_NAMES:
+                    continue
+                owners = {c.info.name for c in self.method_owners.get(name, [])}
+                if len(owners) != 1:
+                    continue  # ambiguous across classes: do not guess
+                self.owned_mutators[name] = cf
+        # Boundary method -> (api class name, ClassFacts or None)
+        self.boundary_methods = {}
+        facts_by_name = {}
+        for cf in self.classes:
+            facts_by_name.setdefault(cf.info.name, cf)
+        for cls, methods in BOUNDARY_APIS.items():
+            for name in methods:
+                self.boundary_methods[name] = (cls, facts_by_name.get(cls))
+
+    def boundary_target(self, method):
+        """(class name, component, partition class) when `method` is a
+        boundary API, else None."""
+        hit = self.boundary_methods.get(method)
+        if hit is None:
+            return None
+        cls, cf = hit
+        if cf is None:
+            return None
+        return cls, cf.component, cf.partition_class
+
+
+CALL_SITE_RE = re.compile(
+    r"([A-Za-z_]\w*)?\s*(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+
+
+def collect_boundary_edges(model, program, files):
+    """Every call site of a boundary API method reached from a different
+    partition class: the cross-partition edges of the program. A call
+    counts when the method name resolves to the boundary class alone, or
+    — for names shared with other interfaces — when the receiver text
+    names the boundary class (RECEIVER_HINTS); anything else would
+    attribute ordinary fabric dispatch to the boundary. Returns
+    [(from_comp, from_class, via, to_comp, to_class, path, line)]."""
+    edges = []
+    by_path = {sf.path: sf for sf in files}
+    for path in sorted(program.irs):
+        from_class = partition_class_of(path)
+        if not from_class:
+            continue
+        sf = by_path[path]
+        for fn in program.irs[path].functions:
+            for m in CALL_SITE_RE.finditer(fn.body):
+                receiver, method = m.group(1) or "", m.group(2)
+                target = model.boundary_target(method)
+                if target is None:
+                    continue
+                cls, to_comp, to_class = target
+                if to_class == from_class:
+                    continue
+                owners = {c.info.name
+                          for c in model.method_owners.get(method, [])}
+                if owners != {cls}:
+                    hints = RECEIVER_HINTS.get(cls, ())
+                    if not any(h in receiver.lower() for h in hints):
+                        continue
+                line = sf.line_of(fn.start + m.start())
+                edges.append((component_of(path), from_class,
+                              f"{cls}::{method}", to_comp, to_class,
+                              path, line))
+    return edges
+
+
+def build_ownership_map(model, program, files):
+    """The ownership-map-v1 document: deterministic (sorted keys, sorted
+    lists, no timestamps) so two runs over the same tree are
+    byte-identical."""
+    components = {}
+    for cf in model.classes:
+        comp = components.setdefault(cf.component, {
+            "partition_class": cf.partition_class,
+            "files": set(),
+            "owned_symbols": [],
+        })
+        comp["files"].add(cf.path)
+    symbols = []
+    for cf in sorted(model.classes, key=lambda c: (c.info.qual, c.path)):
+        entry = {
+            "symbol": cf.info.qual,
+            "kind": cf.info.kind,
+            "file": cf.path,
+            "line": None,  # filled below
+            "component": cf.component,
+            "partition_class": cf.partition_class,
+            "partition_owned": cf.partition_owned,
+        }
+        sf = next(s for s in files if s.path == cf.path)
+        entry["line"] = sf.line_of(cf.info.decl)
+        if cf.partition_owned:
+            entry["mutating_api"] = sorted(cf.mutating_methods)
+            entry["boundary_api"] = sorted(
+                BOUNDARY_APIS.get(cf.info.name, ()))
+            components[cf.component]["owned_symbols"].append(cf.info.qual)
+        symbols.append(entry)
+
+    raw_edges = collect_boundary_edges(model, program, files)
+    grouped = {}
+    for from_comp, from_class, via, to_comp, to_class, path, line in raw_edges:
+        key = (from_comp, via, to_comp)
+        g = grouped.setdefault(key, {
+            "from_component": from_comp,
+            "from_partition_class": from_class,
+            "via": via,
+            "to_component": to_comp,
+            "to_partition_class": to_class,
+            "sites": [],
+        })
+        g["sites"].append(f"{path}:{line}")
+    edges = []
+    for key in sorted(grouped):
+        g = grouped[key]
+        g["sites"] = sorted(set(g["sites"]))
+        edges.append(g)
+
+    return {
+        "schema": SCHEMA,
+        "partition_classes": {
+            comp: PARTITION_CLASS[comp] for comp in sorted(PARTITION_CLASS)
+        },
+        "boundary_apis": {
+            cls: sorted(methods) for cls, methods in BOUNDARY_APIS.items()
+        },
+        "components": {
+            name: {
+                "partition_class": data["partition_class"],
+                "files": sorted(data["files"]),
+                "owned_symbols": sorted(data["owned_symbols"]),
+            }
+            for name, data in sorted(components.items())
+        },
+        "symbols": symbols,
+        "boundary_edges": edges,
+    }
+
+
+def write_ownership_map(path, doc):
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(doc, out, indent=1, sort_keys=True)
+        out.write("\n")

@@ -1,1453 +1,30 @@
 #!/usr/bin/env python3
-"""planck-lint: determinism-and-invariant static analysis for the Planck repo.
+"""planck-lint: determinism-and-invariant static analysis for the Planck
+repo.
 
-Planck's value proposition is exact same-seed replay: the event stream a
-seed produces must be byte-identical across runs. The compiler cannot see
-the project-level invariants that guarantee that, so this tool checks them
-mechanically (see DESIGN.md section 7 for the catalogue and rationale):
+Entry point only — the analysis lives in the lintlib package next to this
+file:
 
-  wall-clock           std::chrono::{system,steady,high_resolution}_clock,
-                       std::rand/srand, std::random_device, argless time(),
-                       gettimeofday/clock_gettime/clock() are banned.
-                       Exempt: src/sim/random.hpp (the one sanctioned RNG
-                       home) and bench/ (harness throughput timing).
-  unordered-iteration  range-for / .begin() loops over unordered_map or
-                       unordered_set inside any function from which a
-                       scheduling sink (EventQueue::push*, Simulation::
-                       schedule*, ControlChannel::send/call, Timer::
-                       schedule) is reachable through the scanned call
-                       graph: hash order there becomes event order.
-  pointer-key          std::map/std::set keyed on a raw pointer, and sort
-                       comparators that order two pointer parameters by
-                       address: allocator addresses differ across runs.
-  time-unit            sim::Time/Duration values narrowed to 32-bit (or
-                       smaller) integers or float, either via static_cast
-                       or implicit-from-initializer: nanosecond timestamps
-                       overflow int32 after ~2.1 s of simulated time.
-  raw-cast             reinterpret_cast / const_cast anywhere; every site
-                       must be audited and carry a suppression.
-  trace-wall-clock     a wall-clock expression inside a PLANCK_TRACE /
-                       PLANCK_TRACE_ARGS / PLANCK_TRACE_COUNTER argument
-                       list: trace timestamps and payloads must derive from
-                       sim time only, or same-seed traces stop being
-                       byte-identical. No path exemptions — unlike
-                       wall-clock, this fires in bench/ too (benches may
-                       time themselves, but never feed that into a trace).
-  topology-constants   any use of the legacy `fat_tree::` constants
-                       namespace (kNumHosts, core_switch_index, …) outside
-                       the compat shim in src/net/topology.{hpp,cpp}: the
-                       fabric is topology-parametric now, so structural
-                       facts must come from graph.shape() (TopologyShape),
-                       which is correct at every radix — a literal 16-host
-                       constant silently miscomputes on a k=6/k=8 fabric.
+  lintlib/source.py     preprocessor-aware tokenizer (two buffer views:
+                        raw bytes and comment/string/directive-masked code)
+  lintlib/ir.py         structural scanner -> per-file function/class IR,
+                        whole-program call graph + taint fixpoint
+  lintlib/ownership.py  partition-ownership model and the ownership-map-v1
+                        artifact
+  lintlib/cache.py      content-hash IR cache (.lint-cache/)
+  lintlib/checks/       the check catalogue (DESIGN.md sections 7 and 13)
+  lintlib/cli.py        driver, selftest, --changed-only, JSON export
 
-Dimensional-units checks (scoped to src/net/, src/switchsim/, src/tcp/,
-src/te/, src/workload/ — the trees migrated to sim/units.hpp):
-
-  raw-unit-field       a declaration of a raw arithmetic type whose name
-                       says it carries a unit (…bytes…, …bits…, …bps…,
-                       …packets…) outside a parameter list: declare it
-                       sim::Bytes / sim::Bits / sim::BitsPerSec /
-                       sim::Packets instead. Intentional raw boundaries
-                       (ctor params, collector wire formats) carry an
-                       allowance naming the boundary.
-  unit-mixing          arithmetic that crosses unit families without a
-                       named conversion: byte<->bit scaling by a literal 8
-                       instead of sim::to_bits()/sim::to_bytes(), or a
-                       binary op combining a …bytes… name with a …bits…/
-                       …bps… name. The sanctioned crossings are the
-                       NAMED_CONVERSIONS defined in src/sim/units.hpp.
-  unpaired-enqueue     a SharedBuffer::admit() call in a function from
-                       which no release() call is reachable through the
-                       scanned call graph: admitted bytes would leak from
-                       the conservation ledger.
-
-Concurrency-readiness checks (scoped to src/ — the gate in front of the
-partitioned engine, DESIGN.md section 12: before any thread is spawned,
-the tree must be provably free of hidden shared mutable state):
-
-  mutable-global       non-const static-storage state anywhere in src/:
-                       namespace-scope variables, function-local statics,
-                       static data members. A mutable global is shared by
-                       every future partition thread at once; convert it
-                       to member/injected state or constexpr. Audited
-                       singletons carry a file-wide
-                       `// planck-lint: allow-file(mutable-global)` with a
-                       written rationale.
-  guarded-field        a class owning a std::mutex must say what the mutex
-                       protects: every mutex member needs at least one
-                       PLANCK_GUARDED_BY(that_mutex) field reference, and
-                       every plain data member of a mutex-owning class
-                       must be annotated (or const/atomic). A class mixing
-                       std::atomic members with plain fields must either
-                       guard the plain fields or declare
-                       PLANCK_PARTITION_OWNED (single-writer, externally
-                       synchronized). Annotations live in
-                       src/sim/thread_annotations.hpp and double as Clang
-                       -Wthread-safety attributes.
-  partition-escape     a cross-partition handle grabbed inside the
-                       event-execution core: sim.telemetry() (the one
-                       object PR-9 partitions will share) dereferenced, or
-                       set_telemetry() re-installed, in any function from
-                       which a scheduling sink is reachable through the
-                       scanned call graph. Shared-plane writes must go
-                       through the PLANCK_TRACE / PLANCK_METRIC macro
-                       layer or a handle captured in register_metrics()
-                       (the sanctioned single-threaded setup point); raw
-                       escape hatches carry
-                       `// planck-lint: allow(partition-escape)` with a
-                       rationale.
-
-Meta check:
-
-  stale-allowance      an allow()/allow-file() comment that suppresses
-                       nothing (or names an unknown check): allowances must
-                       die with the violation they excused. Only runs when
-                       every check is enabled, so a --checks subset cannot
-                       make live allowances look dead.
-
-Suppressions (the checker understands both forms; place on the offending
-line or the line directly above it; `allow(a, b)` suppresses exactly the
-named checks and nothing else):
-
-  // planck-lint: allow(check-a, check-b) — rationale
-  // planck-lint: allow-file(check-a) — file-wide, put near the top
-
-The tool is dependency-free Python over a comment/string-stripped token
-stream; it is deliberately conservative (a project lint, not a compiler).
-`--selftest` runs the checks over tools/planck_lint/selftest/ fixtures
-whose expected findings are annotated inline with `// EXPECT-LINT: check`
-and fails on any mismatch, proving the tool still catches seeded
-violations.
+Run `planck_lint.py --list-checks` for the catalogue, `--selftest` for the
+fixture suite; tools/lint.sh wraps this with the Clang-based stages.
 """
 
-import argparse
 import os
-import re
 import sys
-from dataclasses import dataclass, field
 
-REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
-DEFAULT_PATHS = ["src", "examples", "tests", "bench"]
-SOURCE_EXTS = {".cpp", ".hpp", ".h", ".cc", ".cxx", ".hxx"}
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-ALL_CHECKS = [
-    "wall-clock",
-    "unordered-iteration",
-    "pointer-key",
-    "time-unit",
-    "raw-cast",
-    "trace-wall-clock",
-    "topology-constants",
-    "raw-unit-field",
-    "unit-mixing",
-    "unpaired-enqueue",
-    "bank-swap",
-    "mutable-global",
-    "guarded-field",
-    "partition-escape",
-    "stale-allowance",
-]
-
-# The concurrency-readiness checks gate the partitioned-engine arc
-# (DESIGN.md section 12); they police production sources only — tests,
-# benches and examples are driver programs that never run inside a
-# partition.
-CONCURRENCY_SCOPE = ["src/"]
-
-# The trees migrated to the strong unit types in src/sim/units.hpp; the
-# dimensional checks only apply here (core/, controller/ and sim/ keep raw
-# representations at their boundaries by design).
-UNITS_SCOPE = ["src/net/", "src/switchsim/", "src/tcp/", "src/te/",
-               "src/workload/"]
-
-# Checks restricted to path prefixes; a check absent here runs everywhere.
-CHECK_SCOPE = {
-    "raw-unit-field": UNITS_SCOPE,
-    "unit-mixing": UNITS_SCOPE,
-    "unpaired-enqueue": UNITS_SCOPE,
-    "mutable-global": CONCURRENCY_SCOPE,
-    "guarded-field": CONCURRENCY_SCOPE,
-    "partition-escape": CONCURRENCY_SCOPE,
-}
-
-# The sanctioned unit-crossing functions (src/sim/units.hpp). unit-mixing
-# points offenders here; keep in sync with DESIGN.md section 7.
-NAMED_CONVERSIONS = ["to_bits", "to_bytes", "to_rate_estimate", "per_second",
-                     "rate_of", "serialization_delay", "bytes_in"]
-
-# Per-check path prefixes (relative to the repo root, '/'-separated) where
-# the check does not apply.
-PATH_EXEMPTIONS = {
-    "wall-clock": ["src/sim/random.hpp", "bench/"],
-    # The one sanctioned flip site: RuleTable::commit_staged (the epoch
-    # commit path, DESIGN.md section 10).
-    "bank-swap": ["src/switchsim/rule_table.hpp"],
-    # The compat shim itself defines (and the k=4 builder validates) the
-    # legacy constants.
-    "topology-constants": ["src/net/topology.hpp", "src/net/topology.cpp"],
-    # src/obs IS the shared plane: the macro layer and the Telemetry
-    # accessors legitimately hold what is a cross-partition handle
-    # everywhere else. Its own thread-safety is enforced by guarded-field
-    # and the Clang -Wthread-safety annotations instead.
-    "partition-escape": ["src/obs/"],
-}
-
-SUPPRESS_RE = re.compile(r"planck-lint:\s*allow(-file)?\s*\(([^)]*)\)")
-EXPECT_RE = re.compile(r"//\s*EXPECT-LINT:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
-
-
-@dataclass
-class Finding:
-    path: str  # repo-relative
-    line: int  # 1-based
-    check: str
-    message: str
-
-    def render(self):
-        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
-
-
-@dataclass
-class SourceFile:
-    path: str  # repo-relative, '/'-separated
-    raw: str
-    code: str = ""  # comments/strings blanked, same offsets
-    allow_lines: dict = field(default_factory=dict)  # line -> set(checks)
-    allow_file: dict = field(default_factory=dict)  # check -> decl line
-    used_allowances: set = field(default_factory=set)  # (line, check)
-    used_file_allowances: set = field(default_factory=set)  # check
-
-
-def strip_comments_and_strings(text):
-    """Blanks comments, string and char literals with spaces, preserving
-    newlines so offsets and line numbers survive."""
-    out = list(text)
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            while i < n and text[i] != "\n":
-                out[i] = " "
-                i += 1
-        elif c == "/" and nxt == "*":
-            out[i] = out[i + 1] = " "
-            i += 2
-            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            if i < n:
-                out[i] = " "
-                if i + 1 < n:
-                    out[i + 1] = " "
-                i += 2
-        elif c == "'" and i > 0 and text[i - 1].isalnum() and nxt.isalnum():
-            i += 1  # digit separator (1'000'000), not a char literal
-        elif c == '"' or c == "'":
-            quote = c
-            out[i] = " "
-            i += 1
-            while i < n and text[i] != quote:
-                if text[i] == "\\" and i + 1 < n:
-                    out[i] = " "
-                    if text[i + 1] != "\n":
-                        out[i + 1] = " "
-                    i += 2
-                    continue
-                if text[i] != "\n":
-                    out[i] = " "
-                i += 1
-            if i < n:
-                out[i] = " "
-                i += 1
-        else:
-            i += 1
-    return "".join(out)
-
-
-def load_file(root, relpath):
-    with open(os.path.join(root, relpath), encoding="utf-8", errors="replace") as f:
-        raw = f.read()
-    sf = SourceFile(path=relpath.replace(os.sep, "/"), raw=raw)
-    for lineno, line in enumerate(raw.splitlines(), start=1):
-        for m in SUPPRESS_RE.finditer(line):
-            checks = {c.strip() for c in m.group(2).split(",") if c.strip()}
-            if m.group(1):  # allow-file
-                for check in checks:
-                    sf.allow_file.setdefault(check, lineno)
-            else:
-                sf.allow_lines.setdefault(lineno, set()).update(checks)
-    sf.code = strip_comments_and_strings(raw)
-    return sf
-
-
-def line_of(code, offset):
-    return code.count("\n", 0, offset) + 1
-
-
-def match_paren(code, open_idx, open_ch="(", close_ch=")"):
-    """Index of the matching close for the opener at open_idx, or -1."""
-    depth = 0
-    for i in range(open_idx, len(code)):
-        c = code[i]
-        if c == open_ch:
-            depth += 1
-        elif c == close_ch:
-            depth -= 1
-            if depth == 0:
-                return i
-    return -1
-
-
-def match_angle(code, open_idx):
-    """Match '<'...'>' treating template nesting; bails out on suspicious
-    characters so comparison expressions are not mistaken for templates."""
-    depth = 0
-    i = open_idx
-    while i < len(code):
-        c = code[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                return i
-        elif c in ";{}":
-            return -1
-        i += 1
-    return -1
-
-
-def suppressed(sf, lineno, check):
-    """True when an allowance covers (lineno, check); records which
-    allowance fired so stale-allowance can flag the ones that never do.
-    Only the exact named checks (or '*') suppress — allow(a, b) suppresses
-    a and b on that line and nothing else."""
-    for probe in (lineno, lineno - 1):
-        allowed = sf.allow_lines.get(probe)
-        if allowed and check in allowed:
-            sf.used_allowances.add((probe, check))
-            return True
-        if allowed and "*" in allowed:
-            sf.used_allowances.add((probe, "*"))
-            return True
-    if check in sf.allow_file:
-        sf.used_file_allowances.add(check)
-        return True
-    if "*" in sf.allow_file:
-        sf.used_file_allowances.add("*")
-        return True
-    return False
-
-
-def exempt(path, check):
-    for prefix in PATH_EXEMPTIONS.get(check, []):
-        if path == prefix or path.startswith(prefix):
-            return True
-    scope = CHECK_SCOPE.get(check)
-    if scope is not None and not any(path.startswith(p) for p in scope):
-        return True
-    return False
-
-
-def check_stale_allowances(files, findings):
-    """Flags allow()/allow-file() comments whose named checks never
-    suppressed a finding, and allowances naming unknown checks. Run after
-    filtering, so `used_allowances` is populated."""
-    known = set(ALL_CHECKS) | {"*"}
-    for sf in files:
-        for lineno, checks in sorted(sf.allow_lines.items()):
-            for check in sorted(checks):
-                if check not in known:
-                    findings.append(Finding(
-                        sf.path, lineno, "stale-allowance",
-                        f"allowance names unknown check '{check}' (known: "
-                        f"{', '.join(ALL_CHECKS)})"))
-                elif (lineno, check) not in sf.used_allowances:
-                    findings.append(Finding(
-                        sf.path, lineno, "stale-allowance",
-                        f"allowance for '{check}' suppresses nothing on "
-                        f"this or the next line; delete it (allowances "
-                        f"must die with the violation they excused)"))
-        for check, lineno in sorted(sf.allow_file.items()):
-            if check not in known:
-                findings.append(Finding(
-                    sf.path, lineno, "stale-allowance",
-                    f"file-wide allowance names unknown check '{check}'"))
-            elif check not in sf.used_file_allowances:
-                findings.append(Finding(
-                    sf.path, lineno, "stale-allowance",
-                    f"file-wide allowance for '{check}' suppresses nothing "
-                    f"in this file; delete it"))
-
-
-# --------------------------------------------------------------------------
-# Check: wall-clock
-# --------------------------------------------------------------------------
-
-WALL_CLOCK_PATTERNS = [
-    (re.compile(r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"),
-     "wall-clock time source; simulation time must come from sim::Simulation::now()"),
-    (re.compile(r"\bstd::rand\b|\bsrand\s*\(|(?<![\w:])rand\s*\(\s*\)"),
-     "global C RNG; use a seeded sim::Rng (src/sim/random.hpp)"),
-    (re.compile(r"\bstd::random_device\b|(?<![\w:])random_device\b"),
-     "hardware entropy source; use a seeded sim::Rng (src/sim/random.hpp)"),
-    (re.compile(r"(?<![\w.])\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
-     "wall-clock time(); simulation time must come from sim::Simulation::now()"),
-    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|(?<![\w:.])clock\s*\(\s*\)"),
-     "wall-clock syscall; simulation time must come from sim::Simulation::now()"),
-]
-
-
-def check_wall_clock(sf, findings):
-    for pattern, why in WALL_CLOCK_PATTERNS:
-        for m in pattern.finditer(sf.code):
-            lineno = line_of(sf.code, m.start())
-            findings.append(Finding(sf.path, lineno, "wall-clock",
-                                    f"'{m.group(0).strip()}': {why}"))
-
-
-# --------------------------------------------------------------------------
-# Check: unordered-iteration
-# --------------------------------------------------------------------------
-
-# Scheduling sinks: member/qualified calls through which hash order would
-# become event order. push_back/push_front are not sinks (the (?!_) guard).
-SINK_RE = re.compile(
-    r"(?:\.|->|::)\s*"
-    r"(schedule(?:_at|_packet|_call(?:_at)?)?|push(?:_packet|_call)?(?!_)|send|call)"
-    r"\s*\(")
-
-CALL_NAME_RE = re.compile(r"(?:\.|->|::|\b)([A-Za-z_]\w*)\s*\(")
-
-CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "sizeof",
-                    "alignof", "decltype", "static_assert", "assert"}
-
-
-@dataclass
-class Function:
-    name: str
-    path: str
-    start: int  # offset of body '{' in file code
-    body: str
-    calls: set = field(default_factory=set)
-    has_sink: bool = False
-    tainted_via: str = ""  # "" when not tainted
-
-
-def extract_functions(sf):
-    """Best-effort function-definition finder: every '{' whose predecessor
-    (after const/noexcept/override trailers) is a ')' with an identifier
-    before the matching '(' is treated as a function body. Lambdas and
-    ctor-initializer tails resolve to *some* name in the enclosing chain,
-    which is all the name-based call graph needs."""
-    code = sf.code
-    funcs = []
-    skip_until = -1
-    for m in re.finditer(r"\{", code):
-        brace = m.start()
-        if brace < skip_until:
-            continue
-        head = code[:brace].rstrip()
-        head = re.sub(r"(?:\s*(?:const|noexcept|override|final|mutable))*$", "", head)
-        head = re.sub(r"->\s*[\w:<>&*\s]+$", "", head).rstrip()  # trailing return
-        if not head.endswith(")"):
-            continue
-        # Find the '(' matching this trailing ')'.
-        depth = 0
-        open_idx = -1
-        for i in range(len(head) - 1, -1, -1):
-            if head[i] == ")":
-                depth += 1
-            elif head[i] == "(":
-                depth -= 1
-                if depth == 0:
-                    open_idx = i
-                    break
-        if open_idx <= 0:
-            continue
-        name_m = re.search(r"([A-Za-z_~]\w*)\s*$", head[:open_idx])
-        if not name_m:
-            continue  # lambda or cast
-        name = name_m.group(1)
-        if name in CONTROL_KEYWORDS:
-            continue
-        close = match_paren(code, brace, "{", "}")
-        if close < 0:
-            continue
-        body = code[brace:close + 1]
-        fn = Function(name=name, path=sf.path, start=brace, body=body)
-        fn.has_sink = SINK_RE.search(body) is not None
-        fn.calls = {c for c in CALL_NAME_RE.findall(body)
-                    if c not in CONTROL_KEYWORDS}
-        funcs.append(fn)
-        skip_until = close + 1
-    return funcs
-
-
-def file_stem(path):
-    return os.path.splitext(os.path.basename(path))[0]
-
-
-def build_unordered_registry(files):
-    """Function names returning an unordered container (global, since calls
-    like collector->flow_table().flows() cross files), and variable names
-    declared with an unordered type, scoped per file *stem* so that a
-    member declared in foo.hpp is visible in foo.cpp but an unrelated
-    same-named member of another class is not (e.g. Controller::switches_
-    is an unordered_map while PollTe::switches_ is a vector)."""
-    vars_by_stem, method_names = {}, set()
-    for sf in files:
-        stem_vars = vars_by_stem.setdefault(file_stem(sf.path), set())
-        for m in re.finditer(r"\bunordered_(?:map|set)\s*<", sf.code):
-            open_idx = m.end() - 1
-            close = match_angle(sf.code, open_idx)
-            if close < 0:
-                continue
-            tail = sf.code[close + 1:close + 160]
-            dm = re.match(r"\s*(?:&\s*)?([A-Za-z_]\w*)\s*([(;={,)])", tail)
-            if not dm:
-                continue
-            name, delim = dm.group(1), dm.group(2)
-            if delim == "(":
-                method_names.add(name)
-            else:
-                stem_vars.add(name)
-    return vars_by_stem, method_names
-
-
-def split_top_level(text, sep):
-    parts, depth, last = [], 0, 0
-    i = 0
-    while i < len(text):
-        c = text[i]
-        if c in "<([{":
-            depth += 1
-        elif c in ">)]}":
-            depth -= 1
-        elif c == sep and depth == 0:
-            if sep == ":" and i + 1 < len(text) and text[i + 1] == ":":
-                i += 2
-                continue
-            if sep == ":" and i > 0 and text[i - 1] == ":":
-                i += 1
-                continue
-            parts.append(text[last:i])
-            last = i + 1
-        i += 1
-    parts.append(text[last:])
-    return parts
-
-
-def expr_is_unordered(expr, var_names, method_names):
-    expr = expr.strip()
-    if "unordered_map" in expr or "unordered_set" in expr:
-        return True
-    call = re.search(r"(?:\.|->)\s*([A-Za-z_]\w*)\s*\(\s*\)\s*$", expr)
-    if call and call.group(1) in method_names:
-        return True
-    ident = re.search(r"([A-Za-z_]\w*)\s*$", expr)
-    if ident and ident.group(1) in var_names:
-        return True
-    return False
-
-
-def compute_taint(all_funcs):
-    """Fixpoint taint propagation over the name-based call graph: a function
-    is tainted when its body contains a scheduling sink, or it calls (by
-    simple name) any tainted function in the scanned set."""
-    by_name = {}
-    for fn in all_funcs:
-        by_name.setdefault(fn.name, []).append(fn)
-    for fn in all_funcs:
-        if fn.has_sink:
-            fn.tainted_via = "direct scheduling call"
-    changed = True
-    while changed:
-        changed = False
-        for fn in all_funcs:
-            if fn.tainted_via:
-                continue
-            for callee in fn.calls:
-                targets = by_name.get(callee)
-                if targets and any(t.tainted_via for t in targets):
-                    fn.tainted_via = f"calls {callee}()"
-                    changed = True
-                    break
-    return by_name
-
-
-def check_unordered_iteration(files, findings):
-    vars_by_stem, method_names = build_unordered_registry(files)
-    all_funcs = []
-    funcs_by_file = {}
-    for sf in files:
-        funcs = extract_functions(sf)
-        funcs_by_file[sf.path] = funcs
-        all_funcs.extend(funcs)
-    compute_taint(all_funcs)
-
-    for sf in files:
-        var_names = vars_by_stem.get(file_stem(sf.path), set())
-        for fn in funcs_by_file[sf.path]:
-            if not fn.tainted_via:
-                continue
-            for m in re.finditer(r"\bfor\s*\(", fn.body):
-                open_idx = m.end() - 1
-                close = match_paren(fn.body, open_idx)
-                if close < 0:
-                    continue
-                header = fn.body[open_idx + 1:close]
-                parts = split_top_level(header, ":")
-                hit = None
-                if len(parts) == 2:  # range-for
-                    if expr_is_unordered(parts[1], var_names, method_names):
-                        hit = parts[1].strip()
-                else:  # classic loop: iterator over an unordered container?
-                    it = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*begin\s*\(", header)
-                    if it and it.group(1) in var_names:
-                        hit = f"{it.group(1)}.begin()"
-                if hit is None:
-                    continue
-                lineno = line_of(sf.code, fn.start + m.start())
-                findings.append(Finding(
-                    sf.path, lineno, "unordered-iteration",
-                    f"iteration over unordered container '{hit}' in "
-                    f"'{fn.name}' ({fn.tainted_via}; hash order becomes "
-                    f"event order — iterate sorted keys or suppress with a "
-                    f"rationale)"))
-
-
-# --------------------------------------------------------------------------
-# Check: pointer-key
-# --------------------------------------------------------------------------
-
-CMP_LAMBDA_RE = re.compile(
-    r"\[[^\[\]]*\]\s*\(\s*(?:const\s+)?[\w:]+\s*\*\s*(?:const\s+)?([A-Za-z_]\w*)\s*,"
-    r"\s*(?:const\s+)?[\w:]+\s*\*\s*(?:const\s+)?([A-Za-z_]\w*)\s*\)"
-    r"\s*(?:->\s*bool\s*)?\{")
-
-
-def check_pointer_key(sf, findings):
-    for m in re.finditer(r"\bstd::(map|set)\s*<", sf.code):
-        open_idx = m.end() - 1
-        close = match_angle(sf.code, open_idx)
-        if close < 0:
-            continue
-        args = split_top_level(sf.code[open_idx + 1:close], ",")
-        key = args[0].strip()
-        if key.endswith("*"):
-            lineno = line_of(sf.code, m.start())
-            findings.append(Finding(
-                sf.path, lineno, "pointer-key",
-                f"std::{m.group(1)} keyed on raw pointer '{key}': address "
-                f"order varies across runs; key on a stable id instead"))
-    for m in CMP_LAMBDA_RE.finditer(sf.code):
-        a, b = m.group(1), m.group(2)
-        body_close = match_paren(sf.code, m.end() - 1, "{", "}")
-        if body_close < 0:
-            continue
-        body = sf.code[m.end() - 1:body_close]
-        if re.search(rf"\b{a}\s*<\s*{b}\b|\b{b}\s*<\s*{a}\b", body):
-            lineno = line_of(sf.code, m.start())
-            findings.append(Finding(
-                sf.path, lineno, "pointer-key",
-                f"comparator orders pointers '{a}'/'{b}' by address: "
-                f"allocation order varies across runs; compare a stable "
-                f"field instead"))
-
-
-# --------------------------------------------------------------------------
-# Check: time-unit
-# --------------------------------------------------------------------------
-
-NARROW_TYPE = (r"(?:int|short|float|unsigned(?:\s+int)?|"
-               r"(?:std::)?u?int(?:8|16|32)_t)")
-TIME_TOKEN_RE = re.compile(
-    r"\bnow\s*\(\s*\)|\b(?:nanoseconds|microseconds|milliseconds|seconds)\s*\(|"
-    r"\bk(?:Nanosecond|Microsecond|Millisecond|Second)\b|"
-    r"\bsim::(?:Time|Duration)\b")
-
-
-def check_time_unit(sf, findings):
-    for m in re.finditer(rf"static_cast\s*<\s*{NARROW_TYPE}\s*>\s*\(", sf.code):
-        close = match_paren(sf.code, m.end() - 1)
-        if close < 0:
-            continue
-        arg = sf.code[m.end():close]
-        if TIME_TOKEN_RE.search(arg):
-            lineno = line_of(sf.code, m.start())
-            findings.append(Finding(
-                sf.path, lineno, "time-unit",
-                f"sim::Time/Duration value narrowed by "
-                f"'{sf.code[m.start():m.end() - 1].strip()}': nanosecond "
-                f"timestamps overflow 32-bit after ~2.1 s of simulated time"))
-    for m in re.finditer(
-            rf"(?:\A|(?<=[;{{}}\n]))\s*(?:const\s+)?{NARROW_TYPE}\s+\w+\s*=\s*([^;]*);",
-            sf.code):
-        if TIME_TOKEN_RE.search(m.group(1)):
-            lineno = line_of(sf.code, m.start(1))
-            findings.append(Finding(
-                sf.path, lineno, "time-unit",
-                "sim::Time/Duration expression initializes a narrow "
-                "variable; declare it sim::Time/sim::Duration (or widen)"))
-
-
-# --------------------------------------------------------------------------
-# Check: raw-cast
-# --------------------------------------------------------------------------
-
-def check_raw_cast(sf, findings):
-    for m in re.finditer(r"\b(reinterpret_cast|const_cast)\b", sf.code):
-        lineno = line_of(sf.code, m.start())
-        findings.append(Finding(
-            sf.path, lineno, "raw-cast",
-            f"{m.group(1)} requires an audit: convert to std::bit_cast or a "
-            f"typed accessor, or suppress with a rationale"))
-
-
-# --------------------------------------------------------------------------
-# Check: trace-wall-clock
-# --------------------------------------------------------------------------
-
-TRACE_CALL_RE = re.compile(r"\bPLANCK_TRACE(?:_ARGS|_COUNTER)?\s*\(")
-
-
-def check_trace_wall_clock(sf, findings):
-    """Scans every PLANCK_TRACE* argument list for the wall-clock sources
-    banned by the wall-clock check. Deliberately has no PATH_EXEMPTIONS:
-    bench/ may use steady_clock to time itself, but a trace event fed from
-    one would differ between same-seed runs, breaking the byte-identical
-    trace guarantee (DESIGN.md section 9)."""
-    for m in TRACE_CALL_RE.finditer(sf.code):
-        open_idx = m.end() - 1
-        close = match_paren(sf.code, open_idx)
-        if close < 0:
-            continue
-        macro = sf.code[m.start():open_idx].strip()
-        args = sf.code[open_idx + 1:close]
-        for pattern, _why in WALL_CLOCK_PATTERNS:
-            hit = pattern.search(args)
-            if hit:
-                lineno = line_of(sf.code, m.start())
-                findings.append(Finding(
-                    sf.path, lineno, "trace-wall-clock",
-                    f"'{hit.group(0).strip()}' inside a {macro}() argument "
-                    f"list: trace events must be computed from sim time "
-                    f"only, or same-seed traces diverge (no exemptions — "
-                    f"this fires in bench/ too)"))
-                break
-
-
-# --------------------------------------------------------------------------
-# Check: topology-constants
-# --------------------------------------------------------------------------
-
-# Matches the legacy namespace itself (`fat_tree::kNumHosts`,
-# `using namespace net::fat_tree`) but not the builder identifiers
-# (`make_fat_tree`, `make_fat_tree_16`): no word boundary follows the
-# `make_` prefix.
-TOPOLOGY_CONSTANT_RE = re.compile(r"\bfat_tree\b")
-
-
-def check_topology_constants(sf, findings):
-    for m in TOPOLOGY_CONSTANT_RE.finditer(sf.code):
-        lineno = line_of(sf.code, m.start())
-        findings.append(Finding(
-            sf.path, lineno, "topology-constants",
-            "legacy fat_tree:: fabric constant: structural facts must come "
-            "from graph.shape() (TopologyShape), which holds at every "
-            "radix; the k=4 compat shim lives in src/net/topology.hpp"))
-
-
-# --------------------------------------------------------------------------
-# Check: raw-unit-field
-# --------------------------------------------------------------------------
-
-RAW_ARITH_TYPE = (r"(?:std::)?u?int(?:8|16|32|64)?_t|(?:std::)?size_t|"
-                  r"unsigned(?:\s+(?:int|long(?:\s+long)?))?|"
-                  r"long\s+long|long|int|short|double|float")
-UNIT_NAME_TOKENS = re.compile(r"(?:^|_)(?:bytes?|bits?|bps|packets?|pkts?)(?:_|$)")
-RAW_UNIT_DECL_RE = re.compile(
-    rf"\b({RAW_ARITH_TYPE})\s+([A-Za-z_]\w*)\s*(?:=[^;]*|\{{[^;{{}}]*\}})?;")
-
-
-def paren_depths(code):
-    """Prefix array of '(' nesting depth at each offset (braces ignored),
-    used to tell field/local declarations from function parameters."""
-    depths = [0] * (len(code) + 1)
-    depth = 0
-    for i, c in enumerate(code):
-        depths[i] = depth
-        if c == "(":
-            depth += 1
-        elif c == ")":
-            depth = max(0, depth - 1)
-    depths[len(code)] = depth
-    return depths
-
-
-def check_raw_unit_field(sf, findings):
-    depths = paren_depths(sf.code)
-    for m in RAW_UNIT_DECL_RE.finditer(sf.code):
-        if depths[m.start()] > 0:
-            continue  # function parameter: raw boundaries stay explicit
-        name = m.group(2)
-        if not UNIT_NAME_TOKENS.search(name.lower().rstrip("_")):
-            continue
-        lineno = line_of(sf.code, m.start())
-        findings.append(Finding(
-            sf.path, lineno, "raw-unit-field",
-            f"raw '{m.group(1)}' declaration '{name}' carries a unit; "
-            f"declare it sim::Bytes/sim::Bits/sim::BitsPerSec/sim::Packets "
-            f"(src/sim/units.hpp), or mark an intentional boundary with an "
-            f"allowance naming it"))
-
-
-# --------------------------------------------------------------------------
-# Check: unit-mixing
-# --------------------------------------------------------------------------
-
-BYTE_NAME = r"[A-Za-z_]\w*byte\w*"
-BIT_NAME = r"[A-Za-z_]\w*(?:bits?|bps)\w*"
-BYTE_BIT_SCALE_RE = re.compile(
-    rf"\b({BYTE_NAME})(?:\.count\s*\(\s*\))?\s*([*/])\s*8(?:\.0)?\b|"
-    rf"\b8(?:\.0)?\s*\*\s*({BYTE_NAME})\b")
-MIXED_BINOP_RE = re.compile(
-    rf"\b({BYTE_NAME})(?:\.count\s*\(\s*\))?\s*"
-    rf"(\+|-|<=?|>=?|==|!=)\s*({BIT_NAME})\b|"
-    rf"\b({BIT_NAME})(?:\.count\s*\(\s*\))?\s*"
-    rf"(\+|-|<=?|>=?|==|!=)\s*({BYTE_NAME})\b")
-
-
-def check_unit_mixing(sf, findings):
-    conversions = "/".join(NAMED_CONVERSIONS[:2])
-    for m in BYTE_BIT_SCALE_RE.finditer(sf.code):
-        name = m.group(1) or m.group(3)
-        lineno = line_of(sf.code, m.start())
-        findings.append(Finding(
-            sf.path, lineno, "unit-mixing",
-            f"byte<->bit scaling of '{name}' by a literal 8; use the named "
-            f"conversions sim::{conversions}() (or sim::per_second/rate_of "
-            f"for rates) so the crossing is typed and auditable"))
-    for m in MIXED_BINOP_RE.finditer(sf.code):
-        a = m.group(1) or m.group(4)
-        b = m.group(3) or m.group(6)
-        op = m.group(2) or m.group(5)
-        # A name can legitimately contain both tokens (e.g. a
-        # bytes_to_bits table); skip ambiguous operands.
-        ambiguous = [n for n in (a, b)
-                     if "byte" in n and re.search(r"bits?|bps", n)]
-        if ambiguous:
-            continue
-        lineno = line_of(sf.code, m.start())
-        findings.append(Finding(
-            sf.path, lineno, "unit-mixing",
-            f"'{a} {op} {b}' combines a byte-unit name with a bit-unit "
-            f"name; convert through sim::{'/'.join(NAMED_CONVERSIONS[:3])}() "
-            f"before mixing"))
-
-
-# --------------------------------------------------------------------------
-# Check: bank-swap
-# --------------------------------------------------------------------------
-
-# Qualified call sites only (obj.swap_banks() / p->swap_banks()): the
-# unqualified call and the declaration live in rule_table.hpp, which is
-# path-exempted as the one sanctioned flip site.
-BANK_SWAP_RE = re.compile(r"(?:\.|->)\s*swap_banks\s*\(")
-
-
-def check_bank_swap(sf, findings):
-    """RuleTable's bank flip is what makes a route-program epoch atomic:
-    the staged bank goes live all-at-once, only after the controller's
-    commit RPC is acked (DESIGN.md section 10). The flip primitive may
-    therefore only be reached through RuleTable::commit_staged in
-    src/switchsim/rule_table.hpp (path-exempted above); any other caller
-    could put a partially-installed program on the data path."""
-    for m in BANK_SWAP_RE.finditer(sf.code):
-        lineno = line_of(sf.code, m.start())
-        findings.append(Finding(
-            sf.path, lineno, "bank-swap",
-            "RuleTable bank flips are reserved to the epoch commit path "
-            "(RuleTable::commit_staged); stage rules and commit the epoch "
-            "instead of swapping banks directly"))
-
-
-# --------------------------------------------------------------------------
-# Check: unpaired-enqueue
-# --------------------------------------------------------------------------
-
-ADMIT_RE = re.compile(r"(?:\.|->)\s*admit\s*\(")
-RELEASE_RE = re.compile(r"(?:\.|->)\s*release\s*\(")
-
-
-def check_unpaired_enqueue(files, findings):
-    """Every SharedBuffer::admit() site must sit in a function from which a
-    release() call is reachable through the scanned call graph (fixpoint
-    over simple call names, cross-file): otherwise bytes admitted to the
-    conservation ledger can never be returned, and the DT pool leaks."""
-    scoped = [sf for sf in files if not exempt(sf.path, "unpaired-enqueue")]
-    all_funcs = []
-    funcs_by_file = {}
-    for sf in scoped:
-        funcs = extract_functions(sf)
-        funcs_by_file[sf.path] = funcs
-        all_funcs.extend(funcs)
-
-    by_name = {}
-    for fn in all_funcs:
-        by_name.setdefault(fn.name, []).append(fn)
-    reaches = {id(fn): RELEASE_RE.search(fn.body) is not None
-               for fn in all_funcs}
-    changed = True
-    while changed:
-        changed = False
-        for fn in all_funcs:
-            if reaches[id(fn)]:
-                continue
-            for callee in fn.calls:
-                targets = by_name.get(callee)
-                if targets and any(reaches[id(t)] for t in targets):
-                    reaches[id(fn)] = True
-                    changed = True
-                    break
-
-    for sf in scoped:
-        for fn in funcs_by_file[sf.path]:
-            if reaches[id(fn)]:
-                continue
-            for m in ADMIT_RE.finditer(fn.body):
-                lineno = line_of(sf.code, fn.start + m.start())
-                findings.append(Finding(
-                    sf.path, lineno, "unpaired-enqueue",
-                    f"admit() in '{fn.name}' with no release() reachable "
-                    f"through the call graph: admitted bytes can never "
-                    f"leave the shared-buffer ledger (dequeue or drop "
-                    f"accounting is missing)"))
-
-
-# --------------------------------------------------------------------------
-# Brace-context classification (shared by the concurrency checks)
-# --------------------------------------------------------------------------
-
-FUNC_TRAILER_RE = re.compile(r"(?:\s*(?:const|noexcept|override|final|mutable))*$")
-TRAILING_RETURN_RE = re.compile(r"->\s*[\w:<>&*\s]+$")
-NAMESPACE_HEAD_RE = re.compile(r"(?:\binline\s+)?\bnamespace\b(?:\s+[\w:]+)?\s*$"
-                               r"|\bextern\s*$")
-
-
-def classify_open_brace(code, brace_idx):
-    """Best-effort classification of the '{' at brace_idx as the opener of
-    a 'namespace', 'class', 'function', or 'other' (initializer braces,
-    enum bodies, control-flow blocks...) region. Mirrors the heuristics of
-    extract_functions: conservative, name-based, good enough for a project
-    lint."""
-    head = code[:brace_idx].rstrip()
-    if NAMESPACE_HEAD_RE.search(head):
-        return "namespace"
-    stripped = FUNC_TRAILER_RE.sub("", head)
-    stripped = TRAILING_RETURN_RE.sub("", stripped).rstrip()
-    if stripped.endswith(")") or stripped.endswith("]"):
-        # Function bodies, lambdas, and control-flow blocks — all of which
-        # mean "inside executable code", which is all the callers need.
-        return "function"
-    # The statement head this brace terminates.
-    stmt = re.split(r"[;{}]", head)[-1]
-    if re.search(r"\benum\b", stmt):
-        return "other"
-    if re.search(r"\b(?:class|struct|union)\b", stmt) and "(" not in stmt:
-        return "class"
-    return "other"
-
-
-def brace_stacks(code):
-    """stacks[i] = tuple of enclosing brace-context kinds at offset i (the
-    innermost last). Shared-tuple representation keeps this O(n) in time
-    and cheap in memory."""
-    stacks = [()] * (len(code) + 1)
-    stack = ()
-    for i, c in enumerate(code):
-        if c == "}" and stack:
-            stack = stack[:-1]
-        stacks[i] = stack
-        if c == "{":
-            stack = stack + (classify_open_brace(code, i),)
-    stacks[len(code)] = stack
-    return stacks
-
-
-# --------------------------------------------------------------------------
-# Check: mutable-global
-# --------------------------------------------------------------------------
-
-# Keywords that disqualify a candidate namespace-scope statement from being
-# a variable definition.
-NS_DECL_SKIP_TOKENS = {
-    "using", "typedef", "template", "friend", "operator", "return", "throw",
-    "goto", "delete", "new", "class", "struct", "union", "enum", "namespace",
-    "static_assert", "co_return", "co_yield", "if", "else", "for", "while",
-    "do", "switch", "case", "break", "continue", "public", "private",
-    "protected", "asm", "concept", "requires",
-}
-
-# Candidate declaration statements: anything ';'-terminated whose head has
-# no parentheses (function declarations/definitions are excluded by
-# construction) and no braces.
-NS_DECL_CAND_RE = re.compile(
-    r"(?:\A|(?<=[;{}]))([^;{}()\[\]=]+?)\s*"
-    r"(=[^;{}]*|\{[^;{}]*\}|\[[^\]]*\]\s*(?:=[^;{}]*|\{[^;{}]*\})?)?\s*;")
-
-STATIC_DECL_RE = re.compile(
-    r"\bstatic\s+((?:(?:inline|thread_local|constinit|mutable|volatile)\s+)*)"
-    r"((?:[A-Za-z_][\w:]*)(?:\s*<[^;{}()]*>)?(?:\s*(?:\*|&|const\b))*)\s+"
-    r"([A-Za-z_]\w*(?:\s*\[[^\]]*\])?)\s*(=|\{|;|\()")
-
-
-def mutable_global_message(what, name):
-    return (f"{what} '{name}' is shared mutable state every partition "
-            f"thread would race on; convert it to member/injected state or "
-            f"constexpr (audited singletons: file-wide allow-file with a "
-            f"written rationale, DESIGN.md section 12)")
-
-
-def check_mutable_global(sf, findings):
-    """Non-const static-storage-duration state: namespace-scope variables,
-    function-local statics, static data members. The partitioned engine
-    (ROADMAP: shard the wheel and slabs, run partitions on a thread pool)
-    can only keep digests byte-stable if partition state is injected, never
-    ambient."""
-    stacks = brace_stacks(sf.code)
-
-    # (a) namespace-scope variable definitions (static or not).
-    for m in NS_DECL_CAND_RE.finditer(sf.code):
-        head = m.group(1)
-        first_char = m.start(1)
-        if any(kind != "namespace" for kind in stacks[first_char]):
-            continue
-        tokens = head.split()
-        if len(tokens) < 2:
-            continue
-        if any(t in NS_DECL_SKIP_TOKENS for t in tokens):
-            continue
-        if "const" in tokens or "constexpr" in tokens:
-            continue  # immutable: safe to share
-        if re.search(r"\bconst\b|\bconstexpr\b", head):
-            continue  # const glued into a qualified type (e.g. `T* const`)
-        name = tokens[-1]
-        if not re.match(r"[A-Za-z_][\w:]*$", name):
-            continue
-        if not re.match(r"[A-Za-z_]", tokens[0]):
-            continue
-        lineno = line_of(sf.code, first_char + len(head) - len(head.lstrip()))
-        what = ("extern declaration of mutable global"
-                if "extern" in tokens else "namespace-scope variable")
-        findings.append(Finding(sf.path, lineno, "mutable-global",
-                                mutable_global_message(what, name)))
-
-    # (b) `static` declarations in class or function scope (namespace-scope
-    # statics are already covered by (a)).
-    for m in STATIC_DECL_RE.finditer(sf.code):
-        if m.group(4) == "(":
-            continue  # static member function / static free function
-        decl_type = m.group(2).strip()
-        if re.match(r"(?:const|constexpr)\b", decl_type) or \
-                re.search(r"\bconstexpr\b", m.group(1) + decl_type):
-            continue
-        # `static const T x` / `static T const x`: immutable, shareable.
-        if re.search(r"\bconst\b", decl_type):
-            continue
-        stack = stacks[m.start()]
-        if not any(kind != "namespace" for kind in stack):
-            continue  # namespace scope: (a) already reported it
-        what = ("function-local static"
-                if stack and stack[-1] in ("function", "other")
-                else "mutable static data member")
-        lineno = line_of(sf.code, m.start())
-        findings.append(Finding(sf.path, lineno, "mutable-global",
-                                mutable_global_message(what, m.group(3))))
-
-
-# --------------------------------------------------------------------------
-# Check: guarded-field
-# --------------------------------------------------------------------------
-
-# The optional PLANCK_* group skips attribute macros between the keyword
-# and the name (class PLANCK_CAPABILITY("mutex") Mutex, ...).
-CLASS_OPEN_RE = re.compile(
-    r"\b(class|struct)\s+(?:PLANCK_\w+\s*(?:\([^)]*\)\s*)?)?"
-    r"([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{]*)?\{")
-# Matches both the std types and the repo's capability-annotated wrapper
-# (sim::Mutex, sim/thread_annotations.hpp).
-MUTEX_MEMBER_RE = re.compile(
-    r"\b(?:(?:std::)?(?:recursive_|shared_|timed_|recursive_timed_)?mutex"
-    r"|(?:planck::)?(?:sim::)?Mutex)\s+"
-    r"([A-Za-z_]\w*)\s*[;{=]")
-ATOMIC_MEMBER_RE = re.compile(
-    r"\bstd::atomic(?:<[^;>]*(?:<[^;>]*>)?[^;>]*>|_\w+)\s+([A-Za-z_]\w*)")
-GUARDED_REF_RE = re.compile(
-    r"\bPLANCK(?:_PT)?_GUARDED_BY\s*\(\s*([A-Za-z_]\w*)")
-PARTITION_OWNED_RE = re.compile(r"\bPLANCK_PARTITION_OWNED\b")
-MEMBER_SKIP_TOKENS = {
-    "using", "typedef", "friend", "static", "enum", "class", "struct",
-    "union", "template", "public", "private", "protected", "operator",
-    "explicit", "virtual", "return",
-}
-
-
-def mask_nested_braces(body):
-    """Returns `body` with everything below its top brace level blanked
-    (newlines kept), so member scans do not see method bodies, nested
-    classes, or default-initializer innards."""
-    out = list(body)
-    depth = 0
-    for i, c in enumerate(body):
-        if c == "{":
-            depth += 1
-            if depth > 1 and body[i] != "\n":
-                out[i] = " "
-        elif c == "}":
-            if depth > 1 and body[i] != "\n":
-                out[i] = " "
-            depth -= 1
-        elif depth > 1 and c != "\n":
-            out[i] = " "
-    return "".join(out)
-
-
-def has_toplevel_paren(text):
-    """True when `text` contains a '(' outside angle brackets — i.e. the
-    statement declares (or defines) a function, not a data member.
-    Parentheses inside template arguments (std::function<void()> handlers)
-    do not count."""
-    angle = 0
-    for c in text:
-        if c == "<":
-            angle += 1
-        elif c == ">":
-            angle = max(0, angle - 1)
-        elif c == "(" and angle == 0:
-            return True
-    return False
-
-
-def member_declarations(member_text):
-    """Yields (offset, name, decl_text) for plain data-member declarations
-    at class-body top level: ';'-terminated statements with no top-level
-    parens (methods, ctors and annotated members have them) and no
-    disqualifying keyword."""
-    pos = 0
-    while True:
-        end = member_text.find(";", pos)
-        if end < 0:
-            return
-        stmt = member_text[pos:end]
-        start = pos
-        pos = end + 1
-        # Access specifiers glue onto the following statement; strip them.
-        stripped = re.sub(r"\b(?:public|private|protected)\s*:", " ", stmt)
-        lead = len(stmt) - len(stmt.lstrip())
-        if has_toplevel_paren(stripped):
-            continue
-        tokens = stripped.split()
-        if len(tokens) < 2:
-            continue
-        if any(t.rstrip(":") in MEMBER_SKIP_TOKENS for t in tokens):
-            continue
-        name_m = re.search(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:=[^=]*|\{.*\})?\s*$",
-                           stripped, re.S)
-        if not name_m:
-            continue
-        yield start + lead, name_m.group(1), stripped
-
-
-def check_guarded_field(sf, findings):
-    """A class that owns synchronization must say what it synchronizes
-    (DESIGN.md section 12): every mutex member needs >= 1
-    PLANCK_GUARDED_BY(that_mutex) reference, every plain field of a
-    mutex-owning class needs an annotation, and a class mixing std::atomic
-    members with plain fields must either guard the plain fields or declare
-    PLANCK_PARTITION_OWNED (single-writer, externally synchronized)."""
-    for cm in CLASS_OPEN_RE.finditer(sf.code):
-        if re.search(r"\benum\s+$", sf.code[:cm.start()]):
-            continue
-        body_open = cm.end() - 1
-        body_close = match_paren(sf.code, body_open, "{", "}")
-        if body_close < 0:
-            continue
-        class_name = cm.group(2)
-        body = sf.code[body_open:body_close + 1]
-        members = mask_nested_braces(body)
-
-        mutexes = {}  # name -> offset in body
-        for mm in MUTEX_MEMBER_RE.finditer(members):
-            mutexes[mm.group(1)] = mm.start()
-        atomics = {}
-        for am in ATOMIC_MEMBER_RE.finditer(members):
-            atomics[am.group(1)] = am.start()
-        guarded_by = set(GUARDED_REF_RE.findall(members))
-        partition_owned = PARTITION_OWNED_RE.search(members) is not None
-
-        for name, off in sorted(mutexes.items(), key=lambda kv: kv[1]):
-            if name not in guarded_by:
-                lineno = line_of(sf.code, body_open + off)
-                findings.append(Finding(
-                    sf.path, lineno, "guarded-field",
-                    f"mutex member '{name}' of '{class_name}' has zero "
-                    f"PLANCK_GUARDED_BY({name}) references: a lock that "
-                    f"guards nothing is a lock nobody can audit; annotate "
-                    f"the fields it protects (sim/thread_annotations.hpp)"))
-
-        if not mutexes and not atomics:
-            continue
-        for off, name, decl in member_declarations(members):
-            if name in mutexes or name in atomics:
-                continue
-            if re.search(r"\bconst\b|\bconstexpr\b", decl):
-                continue
-            if "PLANCK" in decl and GUARDED_REF_RE.search(decl):
-                continue
-            lineno = line_of(sf.code, body_open + off)
-            if mutexes:
-                findings.append(Finding(
-                    sf.path, lineno, "guarded-field",
-                    f"field '{name}' of mutex-owning class '{class_name}' "
-                    f"carries no PLANCK_GUARDED_BY annotation: state in a "
-                    f"locked class is either guarded, const, atomic, or a "
-                    f"documented exception (allow with a rationale)"))
-            elif not partition_owned:
-                findings.append(Finding(
-                    sf.path, lineno, "guarded-field",
-                    f"'{class_name}' mixes std::atomic members with plain "
-                    f"field '{name}' but declares no ownership: add "
-                    f"PLANCK_PARTITION_OWNED (single-writer, externally "
-                    f"synchronized, DESIGN.md section 12) or guard the "
-                    f"plain fields"))
-
-
-# --------------------------------------------------------------------------
-# Check: partition-escape
-# --------------------------------------------------------------------------
-
-TELEMETRY_GET_RE = re.compile(r"(?:\.|->)\s*telemetry\s*\(\s*\)")
-SET_TELEMETRY_RE = re.compile(r"(?:\.|->)\s*set_telemetry\s*\(")
-
-# The sanctioned single-threaded setup points: metric/trace registration
-# happens in constructors, before any partition thread exists.
-ESCAPE_EXEMPT_FUNCTIONS = {"register_metrics"}
-
-
-def check_partition_escape(files, findings):
-    """Taint walk from the sim::Simulation/EventQueue entry points: a
-    function from which a scheduling sink is reachable through the scanned
-    call graph executes inside the event loop — on the owning partition's
-    thread once PR 9 lands. Grabbing sim.telemetry() there (the one object
-    partitions share) or re-installing it mid-run is a write path to state
-    the executing partition does not own. Shared-plane access from the
-    event core must go through the PLANCK_TRACE/PLANCK_METRIC macro layer
-    (null-checked, lock-disciplined) or a handle captured in
-    register_metrics(); anything rawer carries an allow(partition-escape)
-    with a rationale."""
-    scoped = [sf for sf in files if not exempt(sf.path, "partition-escape")]
-    all_funcs = []
-    funcs_by_file = {}
-    for sf in scoped:
-        funcs = extract_functions(sf)
-        funcs_by_file[sf.path] = funcs
-        all_funcs.extend(funcs)
-    compute_taint(all_funcs)
-
-    for sf in scoped:
-        for fn in funcs_by_file[sf.path]:
-            if not fn.tainted_via:
-                continue
-            if fn.name in ESCAPE_EXEMPT_FUNCTIONS:
-                continue
-            for m in TELEMETRY_GET_RE.finditer(fn.body):
-                lineno = line_of(sf.code, fn.start + m.start())
-                findings.append(Finding(
-                    sf.path, lineno, "partition-escape",
-                    f"cross-partition handle: telemetry() dereferenced in "
-                    f"'{fn.name}' ({fn.tainted_via}), which executes "
-                    f"inside the event loop; go through PLANCK_TRACE/"
-                    f"PLANCK_METRIC or capture the handle in "
-                    f"register_metrics(), or allow with a rationale"))
-            for m in SET_TELEMETRY_RE.finditer(fn.body):
-                lineno = line_of(sf.code, fn.start + m.start())
-                findings.append(Finding(
-                    sf.path, lineno, "partition-escape",
-                    f"set_telemetry() inside '{fn.name}' "
-                    f"({fn.tainted_via}): re-plumbing the shared plane "
-                    f"from the event core races every other partition; "
-                    f"install telemetry before the run starts"))
-
-
-# --------------------------------------------------------------------------
-# Driver
-# --------------------------------------------------------------------------
-
-def collect_files(root, paths):
-    rels = []
-    for p in paths:
-        ap = os.path.join(root, p)
-        if os.path.isfile(ap):
-            rels.append(os.path.relpath(ap, root))
-            continue
-        for dirpath, _dirnames, filenames in os.walk(ap):
-            for fname in sorted(filenames):
-                if os.path.splitext(fname)[1] in SOURCE_EXTS:
-                    rels.append(os.path.relpath(os.path.join(dirpath, fname), root))
-    return sorted(set(rels))
-
-
-def write_json_report(path, checks, findings, files):
-    """Machine-readable findings dump (planck-lint-findings-v1), uploaded
-    as a CI artifact so the finding and allowance counts are tracked
-    PR-over-PR. Emitted whether or not the run is clean — a zero-count
-    document is the interesting data point."""
-    import json
-    line_allowances = sum(len(cs) for sf in files
-                          for cs in sf.allow_lines.values())
-    file_allowances = sum(len(sf.allow_file) for sf in files)
-    doc = {
-        "schema": "planck-lint-findings-v1",
-        "checks": sorted(checks),
-        "files_scanned": len(files),
-        "finding_count": len(findings),
-        "allowances": {"line": line_allowances, "file": file_allowances},
-        "findings": [
-            {"path": f.path, "line": f.line, "check": f.check,
-             "message": f.message}
-            for f in findings
-        ],
-    }
-    with open(path, "w", encoding="utf-8") as out:
-        json.dump(doc, out, indent=1, sort_keys=True)
-        out.write("\n")
-
-
-def run_checks(root, paths, checks, scanned_out=None):
-    files = [load_file(root, rel) for rel in collect_files(root, paths)]
-    if scanned_out is not None:
-        scanned_out.extend(files)
-    findings = []
-    if "unordered-iteration" in checks:
-        check_unordered_iteration(files, findings)
-    if "unpaired-enqueue" in checks:
-        check_unpaired_enqueue(files, findings)
-    if "partition-escape" in checks:
-        check_partition_escape(
-            [sf for sf in files
-             if any(sf.path.startswith(p) for p in CONCURRENCY_SCOPE)],
-            findings)
-    per_file_checks = {
-        "wall-clock": check_wall_clock,
-        "pointer-key": check_pointer_key,
-        "time-unit": check_time_unit,
-        "raw-cast": check_raw_cast,
-        "trace-wall-clock": check_trace_wall_clock,
-        "topology-constants": check_topology_constants,
-        "raw-unit-field": check_raw_unit_field,
-        "unit-mixing": check_unit_mixing,
-        "bank-swap": check_bank_swap,
-        "mutable-global": check_mutable_global,
-        "guarded-field": check_guarded_field,
-    }
-    for sf in files:
-        for check, fn in per_file_checks.items():
-            if check in checks:
-                fn(sf, findings)
-    by_path = {sf.path: sf for sf in files}
-    kept = [f for f in findings
-            if not exempt(f.path, f.check)
-            and not suppressed(by_path[f.path], f.line, f.check)]
-    # stale-allowance runs after filtering (it needs to know which
-    # allowances fired) and only with the full check set: a --checks
-    # subset would make allowances for the disabled checks look dead.
-    if "stale-allowance" in checks and checks >= set(ALL_CHECKS):
-        stale = []
-        check_stale_allowances(files, stale)
-        kept.extend(f for f in stale if not exempt(f.path, f.check))
-    kept.sort(key=lambda f: (f.path, f.line, f.check))
-    return kept
-
-
-def run_selftest(root):
-    fixture_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                               "selftest")
-    findings = run_checks(fixture_dir, ["."], set(ALL_CHECKS))
-    found = {(f.path.lstrip("./"), f.line, f.check) for f in findings}
-
-    expected = set()
-    for rel in collect_files(fixture_dir, ["."]):
-        with open(os.path.join(fixture_dir, rel), encoding="utf-8") as f:
-            for lineno, line in enumerate(f, start=1):
-                m = EXPECT_RE.search(line)
-                if m:
-                    for check in m.group(1).split(","):
-                        expected.add((rel.lstrip("./"), lineno, check.strip()))
-
-    missing = expected - found
-    unexpected = found - expected
-    for path, lineno, check in sorted(missing):
-        print(f"SELFTEST MISS: expected [{check}] at {path}:{lineno} "
-              f"— the check regressed", file=sys.stderr)
-    for path, lineno, check in sorted(unexpected):
-        print(f"SELFTEST FALSE POSITIVE: [{check}] at {path}:{lineno}",
-              file=sys.stderr)
-    if missing or unexpected:
-        return 1
-    print(f"planck-lint selftest: {len(expected)} seeded violations "
-          f"detected, no false positives.")
-    return 0
-
-
-def main(argv=None):
-    parser = argparse.ArgumentParser(
-        prog="planck-lint", description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("paths", nargs="*", default=None,
-                        help=f"files/dirs to lint (default: {DEFAULT_PATHS})")
-    parser.add_argument("--repo-root", default=REPO_ROOT)
-    parser.add_argument("--checks", default=",".join(ALL_CHECKS),
-                        help="comma-separated subset of checks to run")
-    parser.add_argument("--json", metavar="PATH", default=None,
-                        help="also write findings as planck-lint-findings-v1"
-                             " JSON (written even when clean; CI uploads it"
-                             " so counts are tracked PR-over-PR)")
-    parser.add_argument("--list-checks", action="store_true")
-    parser.add_argument("--selftest", action="store_true",
-                        help="verify the tool against the seeded-violation "
-                             "fixtures in tools/planck_lint/selftest/")
-    args = parser.parse_args(argv)
-
-    if args.list_checks:
-        for check in ALL_CHECKS:
-            print(check)
-        return 0
-    if args.selftest:
-        return run_selftest(args.repo_root)
-
-    checks = {c.strip() for c in args.checks.split(",") if c.strip()}
-    unknown = checks - set(ALL_CHECKS)
-    if unknown:
-        print(f"unknown checks: {', '.join(sorted(unknown))}", file=sys.stderr)
-        return 2
-    paths = args.paths or DEFAULT_PATHS
-    scanned = []
-    findings = run_checks(args.repo_root, paths, checks, scanned_out=scanned)
-    if args.json:
-        write_json_report(args.json, checks, findings, scanned)
-    for f in findings:
-        print(f.render())
-    if findings:
-        print(f"planck-lint: {len(findings)} finding(s).", file=sys.stderr)
-        return 1
-    print(f"planck-lint: clean ({', '.join(sorted(checks))}).")
-    return 0
-
+from lintlib.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

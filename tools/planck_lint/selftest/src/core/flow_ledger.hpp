@@ -1,0 +1,41 @@
+// Fixture support header: partition-owned collector-side state plus the
+// collector's boundary API, consumed by the cross-partition-write
+// fixtures in src/switchsim/bad_cross_write.cpp. This file itself is
+// clean — it only *declares* the ownership facts the whole-program
+// analysis reads. Never compiled.
+
+#pragma once
+
+namespace planck::core {
+
+// Collector-partition state: exactly one mutating method name
+// (record_sample) that resolves to this class alone, so the analysis can
+// attribute cross-partition calls to it without guessing.
+class FlowLedger {
+ public:
+  void record_sample(unsigned flow_id, unsigned long depth);
+  void rotate_epoch_ledger();
+  unsigned long sampled_total() const;
+
+  PLANCK_PARTITION_OWNED;
+
+ private:
+  unsigned long total_ = 0;
+};
+
+// The collector ingest surface: handle_packet/subscribe_congestion are
+// approved boundary APIs (ownership.py BOUNDARY_APIS), everything else on
+// the class is partition-private.
+class Collector {
+ public:
+  void handle_packet(const void* pkt, unsigned long len);
+  void subscribe_congestion(void* sink);
+  void compact_tables();
+
+  PLANCK_PARTITION_OWNED;
+
+ private:
+  FlowLedger ledger_;
+};
+
+}  // namespace planck::core

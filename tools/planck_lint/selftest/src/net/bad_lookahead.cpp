@@ -1,0 +1,60 @@
+// Fixture: boundary-API delay expressions below (or not provably at) the
+// conservative propagation-delay lookahead (DESIGN.md section 13). The
+// sharded engine batches cross-partition deliveries at the link horizon;
+// a Link/ControlChannel/Collector schedule below it would deliver into a
+// partition's past. Delay expressions must be *named* after the horizon
+// quantity they derive from (propagation/latency/timeout/interval).
+// Never compiled.
+
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace planck::net {
+
+// A zero delay on the boundary is a same-instant cross-partition
+// delivery: the receiving partition may already be past this timestamp.
+void Link::flush_ready(const Packet& pkt) {
+  sim_.schedule_packet(0, pkt);  // EXPECT-LINT: lookahead-violation
+}
+
+// Negated expressions are unbounded below.
+void Link::replay_stale(const Packet& pkt) {
+  sim_.schedule_packet(-jitter_, pkt);  // EXPECT-LINT: lookahead-violation
+}
+
+// A raw literal is not provably >= the lookahead at any radix/cable
+// length; it must derive from the link's propagation constant.
+void Link::emit_probe(const Packet& pkt) {
+  sim_.schedule_packet(250, pkt);  // EXPECT-LINT: lookahead-violation
+}
+
+// `jitter_` names no horizon quantity, so the bound is unprovable.
+void Link::kick_retry() {
+  sim_.schedule_call(jitter_, [] {});  // EXPECT-LINT: lookahead-violation
+}
+
+// The canonical boundary delivery: serialization + propagation, named
+// after the horizon constants. Clean.
+void Link::transmit(const Packet& pkt) {
+  sim_.schedule_packet(ser_delay(pkt) + propagation_, pkt);
+}
+
+// Timer maintenance derived from a named interval is provably at the
+// horizon the interval encodes. Clean.
+void Link::arm_probe_timer() {
+  probe_timer_.schedule(probe_interval_);
+}
+
+// Non-boundary classes schedule freely: intra-partition events have no
+// lookahead obligation (same thread, same wheel). Clean.
+void PortGroup::pace_next() {
+  sim_.schedule_call(pacing_gap_, [] {});
+}
+
+// Escape hatch: an audited sub-horizon delivery with a written rationale.
+void Link::loopback_drain(const Packet& pkt) {
+  // planck-lint: allow(lookahead-violation) — loopback port: both endpoints live in one partition
+  sim_.schedule_packet(drain_gap_, pkt);
+}
+
+}  // namespace planck::net

@@ -1,0 +1,67 @@
+// Fixture: lock-acquisition-order cycles across the shared plane
+// (DESIGN.md section 13). The lock graph is built whole-program from
+// sim::MutexLock scopes: node = owner-qualified mutex member, edge =
+// "acquired while the other is held", directly in one lexical scope or
+// transitively through a call made under the lock. Any cycle is a
+// deadlock schedule two partition threads can realize. Never compiled.
+
+#include "sim/thread_annotations.hpp"
+
+namespace planck::obs {
+
+// Direct cycle, same file: flush_counters holds map_mu_ then grabs
+// hist_mu_; prune_series does the reverse. Thread A in the first, thread
+// B in the second, each holding its first lock -> deadlock.
+void SeriesStore::flush_counters() {
+  sim::MutexLock outer(map_mu_);
+  sim::MutexLock inner(hist_mu_);  // EXPECT-LINT: lock-order
+  counter_generation_ = counter_generation_ + 1;
+}
+
+void SeriesStore::prune_series() {
+  sim::MutexLock outer(hist_mu_);
+  sim::MutexLock inner(map_mu_);  // EXPECT-LINT: lock-order
+  series_generation_ = series_generation_ + 1;
+}
+
+// Transitive cycle through the call graph: publish_epoch acquires
+// RollupSink::mu_ via absorb_rollup() while holding EpochBoard::mu_, and
+// absorb_rollup re-enters publish_epoch while holding RollupSink::mu_.
+void EpochBoard::publish_epoch() {
+  sim::MutexLock lock(mu_);
+  sink_->absorb_rollup();  // EXPECT-LINT: lock-order
+}
+
+void RollupSink::absorb_rollup() {
+  sim::MutexLock lock(mu_);
+  board_->publish_epoch();  // EXPECT-LINT: lock-order
+}
+
+// Consistent global order (always gauge_mu_ before trace_mu_, everywhere)
+// is exactly what the check asks for. Clean.
+void SeriesStore::export_snapshot() {
+  sim::MutexLock outer(gauge_mu_);
+  sim::MutexLock inner(trace_mu_);
+  snapshot_generation_ = snapshot_generation_ + 1;
+}
+
+void SeriesStore::merge_remote() {
+  sim::MutexLock outer(gauge_mu_);
+  sim::MutexLock inner(trace_mu_);
+  merge_generation_ = merge_generation_ + 1;
+}
+
+// Disjoint scopes do not nest: the first lock releases before the second
+// is taken, so no edge exists in either direction. Clean.
+void SeriesStore::roll_epoch() {
+  {
+    sim::MutexLock lock(map_mu_);
+    epoch_generation_ = epoch_generation_ + 1;
+  }
+  {
+    sim::MutexLock lock(hist_mu_);
+    epoch_generation_ = epoch_generation_ + 1;
+  }
+}
+
+}  // namespace planck::obs

@@ -1,0 +1,57 @@
+// Fixture: fabric-partition event-loop code writing collector-partition
+// state directly (DESIGN.md section 13). Once the engine shards, the
+// switch pipeline and the collector run on different threads; a direct
+// mutator call on a PLANCK_PARTITION_OWNED collector class from tainted
+// fabric code is a cross-thread write that must ride a boundary API
+// (Link::transmit, ControlChannel::send/call, Collector ingest) instead.
+// The ownership facts live in ../core/flow_ledger.hpp. Never compiled.
+
+#include "core/flow_ledger.hpp"
+#include "sim/simulation.hpp"
+
+namespace planck::switchsim {
+
+// Schedules, so it executes inside the event loop; poking the collector's
+// ledger from here is a fabric->collector write outside every boundary.
+void mirror_sample(sim::Simulation& sim, core::FlowLedger& ledger) {
+  sim.schedule(sim::microseconds(1), [] {});
+  ledger.record_sample(7, 42);  // EXPECT-LINT: cross-partition-write
+}
+
+// Tainted transitively through mirror_sample(); same violation, and the
+// epoch rotation is collector-private maintenance besides.
+void rotate_from_pipeline(sim::Simulation& sim, core::FlowLedger& ledger,
+                          core::Collector& collector) {
+  mirror_sample(sim, ledger);
+  ledger.rotate_epoch_ledger();  // EXPECT-LINT: cross-partition-write
+  collector.compact_tables();  // EXPECT-LINT: cross-partition-write
+}
+
+// The approved route: the collector ingest surface is a boundary API, so
+// tainted fabric code may deliver packets through it. Clean.
+void mirror_to_collector(sim::Simulation& sim, core::Collector& collector,
+                         const void* pkt, unsigned long len) {
+  sim.schedule(sim::microseconds(1), [] {});
+  collector.handle_packet(pkt, len);
+}
+
+// Reads don't cross: const methods of owned classes are not mutators.
+void probe_depth(sim::Simulation& sim, const core::FlowLedger& ledger) {
+  sim.schedule(sim::microseconds(1), [] {});
+  (void)ledger.sampled_total();
+}
+
+// Setup wiring runs before the event loop starts (no scheduling sink is
+// reachable from here), so seeding the ledger is fine. Clean.
+void seed_ledger(core::FlowLedger& ledger) {
+  ledger.record_sample(0, 0);
+}
+
+// Escape hatch: an audited write with a written rationale.
+void audited_backfill(sim::Simulation& sim, core::FlowLedger& ledger) {
+  sim.schedule(sim::microseconds(3), [] {});
+  // planck-lint: allow(cross-partition-write) — replay backfill runs with the collector quiesced
+  ledger.record_sample(1, 1);
+}
+
+}  // namespace planck::switchsim
