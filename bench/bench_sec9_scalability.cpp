@@ -12,16 +12,26 @@
 // events/sec and detection-to-reroute latency per radix in the
 // planck-metrics-v1 JSON (--json <path>). --k <radix> restricts the sweep
 // to one radix (the scale_smoke ctest runs `--simulate --k 8`).
+//
+// Partitioned (--simulate --threads <list>): additionally sweeps the
+// sharded engine (DESIGN.md §14) over fat-trees at --kpar <list> (default
+// 4,8,16 — 16 to 1024 hosts) with a per-pod ring of pod-crossing
+// elephants, for each thread count in <list>. Reports events/sec,
+// speedup over the 1-thread cell, and — the exit gate — that every
+// thread count reproduces the 1-thread engine digest bit-for-bit.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "controller/routing.hpp"
+#include "net/partition.hpp"
 #include "net/topology.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulation.hpp"
 #include "stats/table.hpp"
 #include "te/planck_te.hpp"
@@ -278,11 +288,151 @@ int run_sweep(const std::vector<int>& radices, bench::JsonReport& report) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Partitioned (sharded-engine) sweep
+// ---------------------------------------------------------------------------
+
+struct PartitionedResult {
+  int k = 0;
+  int threads = 0;
+  int hosts = 0;
+  int partitions = 0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  std::uint64_t digest = 0;
+  int flows_completed = 0;
+  int flows_started = 0;
+};
+
+/// One sharded run: a per-pod ring of elephants (pod p's first host sends
+/// to pod p+1's first host) so every data partition carries both endpoint
+/// and transit load and every agg<->core boundary cable sees traffic.
+/// Runs to a fixed sim horizon (no early stop) so every thread count
+/// executes the identical schedule — the digest proves it.
+PartitionedResult run_partitioned(int k, int threads) {
+  PartitionedResult r;
+  r.k = k;
+  r.threads = threads;
+
+  const net::TopologyGraph graph = net::make_fat_tree(
+      k, net::LinkSpec{sim::gigabits_per_sec(10), sim::microseconds(5)});
+  const net::PartitionMap map = net::make_partition_map(graph);
+  sim::ParallelEngine engine(map.num_partitions, map.lookahead(), threads);
+  r.hosts = graph.shape().num_hosts;
+  r.partitions = engine.num_partitions();
+
+  workload::TestbedConfig cfg;
+  workload::Testbed bed(engine, map, graph, cfg);
+
+  const int hosts_per_pod = graph.shape().hosts_per_pod();
+  const auto bytes = static_cast<std::int64_t>(
+      bench::mib(2 * bench::scale()).count());
+  // One flag per pod, each written only by its own partition's thread.
+  std::vector<std::uint8_t> done(static_cast<std::size_t>(k), 0);
+  for (int pod = 0; pod < k; ++pod) {
+    const int src = pod * hosts_per_pod;
+    const int dst = ((pod + 1) % k) * hosts_per_pod;
+    bed.host(src)->start_flow(
+        net::host_ip(dst), 5001, bytes,
+        [&done, pod](const tcp::FlowStats&) {
+          done[static_cast<std::size_t>(pod)] = 1;
+        });
+    ++r.flows_started;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run_until(sim::milliseconds(20));
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.events = engine.events_executed();
+  r.sim_seconds = sim::to_seconds(engine.control().now());
+  r.digest = engine.determinism_digest();
+  for (std::uint8_t d : done) r.flows_completed += d;
+  return r;
+}
+
+int run_partitioned_sweep(const std::vector<int>& radices,
+                          const std::vector<int>& threads,
+                          bench::JsonReport& report) {
+  std::printf("\nsharded-engine sweep (per-pod elephant ring, lookahead-"
+              "window barriers):\n\n");
+  stats::TextTable table({"k", "hosts", "partitions", "threads", "events",
+                          "events/sec", "speedup", "digest ok"});
+  int rc = 0;
+  for (int k : radices) {
+    double base_eps = 0;
+    std::uint64_t base_digest = 0;
+    for (int t : threads) {
+      const PartitionedResult r = run_partitioned(k, t);
+      const double eps = r.wall_seconds > 0
+                             ? static_cast<double>(r.events) / r.wall_seconds
+                             : 0.0;
+      if (t == threads.front()) {
+        base_eps = eps;
+        base_digest = r.digest;
+      }
+      const bool digest_ok = r.digest == base_digest;
+      const bool complete = r.flows_completed == r.flows_started;
+      // The exit gate: thread counts must be schedule-equivalent, and the
+      // workload must actually finish. Speedup is reported, not gated —
+      // it is a property of the host's core count, which CI checks.
+      if (!digest_ok || !complete || r.events == 0) rc = 1;
+      table.add_row(
+          {stats::format("%d", r.k), stats::format("%d", r.hosts),
+           stats::format("%d", r.partitions), stats::format("%d", r.threads),
+           stats::format("%llu", static_cast<unsigned long long>(r.events)),
+           stats::format("%.2e", eps),
+           stats::format("%.2fx", base_eps > 0 ? eps / base_eps : 0.0),
+           digest_ok ? "yes" : "NO"});
+      const std::string name =
+          "scale.k" + std::to_string(k) + ".t" + std::to_string(t);
+      report.add(name, r.events, r.wall_seconds, r.sim_seconds);
+      obs::MetricRegistry& m = report.metrics();
+      m.gauge(name, "hosts").set(static_cast<double>(r.hosts));
+      m.gauge(name, "partitions").set(static_cast<double>(r.partitions));
+      m.gauge(name, "threads").set(static_cast<double>(r.threads));
+      m.gauge(name, "flows_completed")
+          .set(static_cast<double>(r.flows_completed));
+      m.gauge(name, "digest_match").set(digest_ok ? 1.0 : 0.0);
+      m.gauge(name, "speedup_vs_t1")
+          .set(base_eps > 0 ? eps / base_eps : 0.0);
+      m.gauge(name, "scenario_ok")
+          .set(digest_ok && complete && r.events > 0 ? 1.0 : 0.0);
+    }
+  }
+  table.print();
+  if (rc != 0) {
+    std::fprintf(stderr, "FAIL: a sharded cell diverged from the 1-thread "
+                         "digest or did not complete its flows\n");
+  } else {
+    std::printf("\nevery thread count reproduced the 1-thread engine digest "
+                "bit-for-bit\n");
+  }
+  return rc;
+}
+
 bool has_flag(int argc, char** argv, std::string_view flag) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == flag) return true;
   }
   return false;
+}
+
+/// Parses a comma-separated integer list ("1,2,4").
+std::vector<int> parse_int_list(const std::string& text) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string tok =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -297,6 +447,17 @@ int main(int argc, char** argv) {
     const std::string single = bench::arg_value(argc, argv, "--k");
     if (!single.empty()) radices = {std::atoi(single.c_str())};
     rc = run_sweep(radices, report);
+
+    // Sharded-engine sweep rides the same invocation (and JSON) when a
+    // thread list is given: --threads 1,2,4 [--kpar 4,8,16].
+    const std::string threads_arg = bench::arg_value(argc, argv, "--threads");
+    if (!threads_arg.empty()) {
+      std::vector<int> kpar{4, 8, 16};
+      const std::string kpar_arg = bench::arg_value(argc, argv, "--kpar");
+      if (!kpar_arg.empty()) kpar = parse_int_list(kpar_arg);
+      const std::vector<int> threads = parse_int_list(threads_arg);
+      if (run_partitioned_sweep(kpar, threads, report) != 0) rc = 1;
+    }
   } else {
     run_analytic();
   }

@@ -592,6 +592,24 @@ void Controller::subscribe_congestion(CongestionHandler handler) {
     std::sort(nodes.begin(), nodes.end());
     for (int node : nodes) {
       core::Collector* collector = collectors_.at(node);
+      sim::Simulation& collector_sim = collector->sim();
+      if (&collector_sim != &sim_) {
+        // Sharded engine: the collector fires on its switch's data
+        // partition. Hop to the control partition first (one lookahead
+        // grid step, merged at the window barrier), then take the usual
+        // control-channel latency from there.
+        collector->subscribe_congestion(
+            [this, &collector_sim](const core::CongestionEvent& e) {
+              collector_sim.post(sim_, collector_sim.cross_lookahead(),
+                                 [this, e] {
+                                   channel_.send([this, e] {
+                                     for (const auto& h : congestion_handlers_)
+                                       h(e);
+                                   });
+                                 });
+            });
+        continue;
+      }
       collector->subscribe_congestion([this](const core::CongestionEvent& e) {
         channel_.send([this, e] {
           for (const auto& h : congestion_handlers_) h(e);

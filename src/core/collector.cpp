@@ -284,7 +284,10 @@ void Collector::sweep() {
 
   // Evict idle flows entirely (evict_idle returns records in key order).
   // Every record's residual contribution is unwound, so a port whose
-  // flows have all left reads exactly 0.0 again (see PortUtil).
+  // flows have all left reads exactly 0.0 again (see PortUtil). The
+  // cutoff interval is closed: a flow last seen exactly flow_idle_timeout
+  // ago is evicted on this sweep (FlowTable::evict_idle documents the
+  // boundary; the regression test pins it).
   std::uint64_t evicted = 0;
   for (const FlowRecord& rec :
        flows_.evict_idle(now - config_.flow_idle_timeout)) {

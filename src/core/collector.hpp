@@ -122,6 +122,10 @@ class Collector : public net::Node {
 
   const std::string& name() const { return name_; }
   int switch_node() const { return switch_node_; }
+  /// The partition this collector's state lives on (its switch's). The
+  /// controller uses it to route congestion subscriptions across partition
+  /// boundaries (Simulation::post) under the sharded engine.
+  sim::Simulation& sim() { return sim_; }
 
   // --- sample intake ------------------------------------------------------
   void handle_packet(const net::Packet& packet, int in_port) override;

@@ -67,13 +67,19 @@ class FlowTable {
     return it == flows_.end() ? nullptr : &it->second;
   }
 
-  /// Removes flows idle since before `cutoff`; returns the evicted records
-  /// in flow-key order so the caller unwinds any aggregates (FP sums in
-  /// particular) in a reproducible sequence.
+  /// Removes flows whose last sample is at or before `cutoff`; returns the
+  /// evicted records in flow-key order so the caller unwinds any aggregates
+  /// (FP sums in particular) in a reproducible sequence.
+  ///
+  /// The boundary is *closed*: the Collector calls this with
+  /// `cutoff = now - idle_timeout`, so a flow last seen exactly
+  /// `idle_timeout` ago counts as idle and goes now, not one sweep later.
+  /// (A flow that produced a sample in the current sweep instant has
+  /// `last_seen == now > cutoff` and survives.)
   std::vector<FlowRecord> evict_idle(sim::Time cutoff) {
     std::vector<FlowRecord> evicted;
     for (auto it = flows_.begin(); it != flows_.end();) {
-      if (it->second.last_seen < cutoff) {
+      if (it->second.last_seen <= cutoff) {
         evicted.push_back(it->second);
         it = flows_.erase(it);
       } else {

@@ -1,5 +1,7 @@
 #include "core/rate_estimator.hpp"
 
+#include <algorithm>
+
 namespace planck::core {
 
 bool BurstRateEstimator::add_sample(sim::Time t, std::uint64_t seq,
@@ -18,9 +20,14 @@ bool BurstRateEstimator::add_sample(sim::Time t, std::uint64_t seq,
 
   // A sample whose sequence range is not strictly beyond what we have seen
   // is a retransmission or reordering; it cannot contribute to a byte-count
-  // delta, so it is ignored (§3.2.2).
+  // delta, so it is ignored (§3.2.2). The reorder filter still advances
+  // past any bytes the sample covers beyond the previous high-water mark:
+  // a partially-overlapping sample (a retransmission re-segmented across
+  // the old boundary) must not leave last_seq_end_ behind, or the next
+  // in-order sample would be mistaken for reordering and dropped too.
   if (seq < last_seq_end_) {
     ++ignored_;
+    last_seq_end_ = std::max(last_seq_end_, seq_end);
     return false;
   }
 

@@ -38,11 +38,20 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  /// Attaches the receiving end.
-  void connect(Node* destination, int destination_port) {
+  /// Attaches the receiving end. `destination_sim` names the partition
+  /// the receiver's state lives in: when it differs from the
+  /// transmitter's simulation this is a partition-boundary link, and
+  /// deliveries ride the engine mailbox (see transmit). Omitted or equal
+  /// to the transmitter's: an ordinary intra-partition wire.
+  void connect(Node* destination, int destination_port,
+               sim::Simulation* destination_sim = nullptr) {
     dst_ = destination;
     dst_port_ = destination_port;
+    remote_sim_ = destination_sim == &sim_ ? nullptr : destination_sim;
   }
+
+  /// True when the receiving end lives in another partition.
+  bool crosses_partition() const { return remote_sim_ != nullptr; }
 
   bool connected() const { return dst_ != nullptr; }
   sim::BitsPerSec rate() const { return rate_; }
@@ -98,6 +107,26 @@ class Link {
                     static_cast<long long>(packet.wire_bytes().count())));
       return free_at_;
     }
+    if (remote_sim_ != nullptr) {
+      // Partition-boundary wire: delivery crosses via the engine mailbox.
+      // ser >= 1ns makes the delay strictly greater than the propagation
+      // delay, hence past the engine's conservative lookahead horizon.
+      // Custody of the frame transfers at transmit time — the remote
+      // trampoline must not touch this Link's state (the receiver's
+      // partition thread runs it), so the bytes count as delivered now
+      // and the mid-flight epoch guard does not apply: a boundary link
+      // admin-downed while frames are in flight still delivers them
+      // (transmit-time drops above work as usual). The fault plane keeps
+      // its cable-pull scenarios on intra-partition runs.
+      sim_.post_packet(*remote_sim_, ser + propagation_, dst_,
+                       static_cast<std::uint32_t>(dst_port_),
+                       &Link::deliver_remote, packet);
+      ++packets_sent_;
+      bytes_sent_ += packet.wire_bytes();
+      bytes_delivered_ += packet.wire_bytes();
+      check_conservation();
+      return free_at_;
+    }
     sim_.schedule_packet(ser + propagation_, this, epoch_, &Link::deliver,
                          packet);
     ++packets_sent_;
@@ -134,6 +163,14 @@ class Link {
   }
 
  private:
+  /// Boundary-link delivery trampoline, executed on the *receiver's*
+  /// partition: hands the frame straight to the destination node. No Link
+  /// state is touched (custody transferred at transmit; see transmit()).
+  static void deliver_remote(void* target, std::uint32_t port,
+                             const Packet& packet) {
+    static_cast<Node*>(target)->handle_packet(packet, static_cast<int>(port));
+  }
+
   static void deliver(void* self, std::uint32_t epoch, const Packet& packet) {
     auto* link = static_cast<Link*>(self);
     link->bytes_in_flight_ -= packet.wire_bytes();
@@ -157,6 +194,7 @@ class Link {
   sim::Duration propagation_;
   Node* dst_ = nullptr;
   int dst_port_ = 0;
+  sim::Simulation* remote_sim_ = nullptr;  // non-null: boundary link
   sim::Time free_at_ = 0;
   double carry_ns_ = 0.0;
   bool admin_up_ = true;

@@ -1,16 +1,51 @@
 #include "sim/simulation.hpp"
 
+#include <utility>
+
 #include "obs/obs.hpp"
+#include "sim/parallel.hpp"
 
 namespace planck::sim {
 
 void Simulation::set_telemetry(obs::Telemetry* telemetry) {
   telemetry_ = telemetry;
   if (telemetry_ != nullptr) {
-    telemetry_->metrics().gauge("sim", "events_executed", [this] {
+    telemetry_->metrics().gauge(component_, "events_executed", [this] {
       return static_cast<double>(events_executed_);
     });
   }
+}
+
+void Simulation::attach_hub(ParallelEngine* hub, int partition_id,
+                            Duration lookahead, std::string component) {
+  hub_ = hub;
+  partition_id_ = partition_id;
+  cross_lookahead_ = lookahead;
+  component_ = std::move(component);
+}
+
+void Simulation::post(Simulation& dst, Duration delay,
+                      EventQueue::Callback cb) {
+  if (delay < 0) delay = 0;
+  if (hub_ == nullptr || &dst == this) {
+    // Unsharded (or self-directed) post: a plain schedule, byte-identical
+    // to the pre-partitioning call path.
+    dst.schedule_at(now_ + delay, std::move(cb));
+    return;
+  }
+  hub_->enqueue(partition_id_, dst, now_ + delay, std::move(cb));
+}
+
+void Simulation::post_packet(Simulation& dst, Duration delay, void* target,
+                             std::uint32_t aux, PacketFn fn,
+                             const net::Packet& packet) {
+  if (delay < 0) delay = 0;
+  if (hub_ == nullptr || &dst == this) {
+    dst.schedule_packet_at(now_ + delay, target, aux, fn, packet);
+    return;
+  }
+  hub_->enqueue_packet(partition_id_, dst, now_ + delay, target, aux, fn,
+                       packet);
 }
 
 void Simulation::run() {
@@ -23,7 +58,7 @@ void Simulation::run() {
     fold_digest();
     queue_.run_top();
   }
-  PLANCK_TRACE_COUNTER(*this, "sim", "events_executed", events_executed_);
+  PLANCK_TRACE_COUNTER(*this, component_, "events_executed", events_executed_);
 }
 
 bool Simulation::run_until(Time deadline) {
@@ -37,7 +72,7 @@ bool Simulation::run_until(Time deadline) {
     queue_.run_top();
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
-  PLANCK_TRACE_COUNTER(*this, "sim", "events_executed", events_executed_);
+  PLANCK_TRACE_COUNTER(*this, component_, "events_executed", events_executed_);
   return !queue_.empty();
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 
 #include "sim/event_queue.hpp"
@@ -12,6 +13,8 @@ class Telemetry;
 }  // namespace planck::obs
 
 namespace planck::sim {
+
+class ParallelEngine;
 
 /// Discrete-event simulation driver. Owns the event queue and the clock.
 /// Single-threaded and fully deterministic: identical schedules produce
@@ -63,6 +66,32 @@ class Simulation {
     return schedule_call_at(now_ + (delay > 0 ? delay : 0), target, aux, fn);
   }
 
+  /// schedule_packet at an absolute time (clamped to now if in the past).
+  /// Used by the parallel engine's barrier flush, which carries the
+  /// sender-relative delivery time across partitions as an absolute stamp.
+  EventId schedule_packet_at(Time when, void* target, std::uint32_t aux,
+                             PacketFn fn, const net::Packet& packet) {
+    if (when < now_) when = now_;
+    return queue_.push_packet(when, target, aux, fn, packet);
+  }
+
+  /// Schedules `cb` on partition `dst` at `delay` from *this* partition's
+  /// clock. Same-partition (or unsharded) calls degrade to a plain
+  /// schedule; cross-partition calls ride the engine's mailbox and are
+  /// merged into `dst` at the next lookahead barrier (deterministically:
+  /// source partition id, then FIFO). For data->data traffic the delay
+  /// must be >= the engine's conservative lookahead or delivery lands in
+  /// the destination's past (it is then clamped to the barrier bound —
+  /// still deterministic, but time-skewed; data->control posts rely on
+  /// exactly that clamp).
+  void post(Simulation& dst, Duration delay, EventQueue::Callback cb);
+
+  /// Typed cross-partition packet delivery: the boundary-link flavor of
+  /// post(). Same contract as post(); the dominant event class keeps its
+  /// no-type-erasure path across partitions.
+  void post_packet(Simulation& dst, Duration delay, void* target,
+                   std::uint32_t aux, PacketFn fn, const net::Packet& packet);
+
   /// Cancels a pending event. O(1); safe no-op if the event already ran.
   void cancel(EventId id) { queue_.cancel(id); }
 
@@ -75,6 +104,13 @@ class Simulation {
 
   /// Requests that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
+
+  /// True after stop() until the next run()/run_until() entry clears it.
+  /// The parallel engine reads this between lookahead windows: a stop
+  /// raised by any partition's event ends the whole run at that window's
+  /// barrier (a deterministic point — the stopping event's window index
+  /// is a function of the schedule, never of thread timing).
+  bool stop_requested() const { return stopped_; }
 
   /// Number of events executed so far (for tests and progress reporting).
   std::uint64_t events_executed() const { return events_executed_; }
@@ -100,6 +136,23 @@ class Simulation {
   void set_telemetry(obs::Telemetry* telemetry);
   obs::Telemetry* telemetry() const { return telemetry_; }
 
+  // --- partition wiring (parallel engine only) ----------------------------
+  /// Binds this simulation to a ParallelEngine as partition `partition_id`.
+  /// `lookahead` is the engine's conservative horizon (what boundary posts
+  /// must clear); `component` names this partition's telemetry component
+  /// ("sim.p3"). Single-threaded setup, before any partition thread exists.
+  void attach_hub(ParallelEngine* hub, int partition_id, Duration lookahead,
+                  std::string component);
+  /// Partition id within the engine (0 when unsharded).
+  int partition_id() const { return partition_id_; }
+  /// The engine's conservative lookahead; 0 when unsharded. Boundary
+  /// components use this as the minimum cross-partition hop delay.
+  Duration cross_lookahead() const { return cross_lookahead_; }
+  /// Earliest pending event's time. Precondition: pending().
+  Time next_event_time() { return queue_.next_time(); }
+  /// Telemetry component name ("sim", or "sim.p<N>" once sharded).
+  const std::string& component() const { return component_; }
+
  private:
   // Single-writer by design: one Simulation is one partition's event
   // core; only telemetry_ points at shared state, and installing it
@@ -120,6 +173,13 @@ class Simulation {
   std::uint64_t events_executed_ = 0;
   std::uint64_t digest_ = kFnvOffset;
   obs::Telemetry* telemetry_ = nullptr;
+  // Sharded-engine wiring (attach_hub): null/defaults when this Simulation
+  // is a standalone engine, which keeps every pre-partitioning call path
+  // byte-identical.
+  ParallelEngine* hub_ = nullptr;
+  int partition_id_ = 0;
+  Duration cross_lookahead_ = 0;
+  std::string component_ = "sim";
 };
 
 }  // namespace planck::sim

@@ -1,7 +1,10 @@
 #include "workload/testbed.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <string>
+
+#include "sim/parallel.hpp"
 
 namespace planck::workload {
 
@@ -9,45 +12,69 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
                  const TestbedConfig& config)
     : sim_(simulation), graph_(graph), config_(config),
       link_rng_(config.seed) {
-  // Instantiate hosts and switches.
+  build();
+}
+
+Testbed::Testbed(sim::ParallelEngine& engine, const net::PartitionMap& map,
+                 const net::TopologyGraph& graph, const TestbedConfig& config)
+    : sim_(engine.control()), engine_(&engine), pmap_(map), graph_(graph),
+      config_(config), link_rng_(config.seed) {
+  assert(map.num_partitions == engine.data_partitions());
+  build();
+}
+
+sim::Simulation& Testbed::sim_for_node(int node) {
+  if (engine_ == nullptr) return sim_;
+  return engine_->partition(pmap_.partition_of(node));
+}
+
+void Testbed::build() {
+  // Instantiate hosts and switches, each on its node's partition.
   for (int node = 0; node < graph_.num_nodes(); ++node) {
+    sim::Simulation& node_sim = sim_for_node(node);
     if (graph_.is_host(node)) {
       const int idx = graph_.host_index(node);
-      auto host = std::make_unique<tcp::Host>(sim_, idx, config.host_config);
+      auto host =
+          std::make_unique<tcp::Host>(node_sim, idx, config_.host_config);
       if (static_cast<int>(hosts_.size()) <= idx) {
         hosts_.resize(static_cast<std::size_t>(idx) + 1);
       }
       hosts_[static_cast<std::size_t>(idx)] = std::move(host);
     } else {
       const int data_ports = graph_.num_ports(node);
-      const int total_ports = data_ports + (config.enable_planck ? 1 : 0);
-      switchsim::SwitchConfig sw_config = config.switch_config;
+      const int total_ports = data_ports + (config_.enable_planck ? 1 : 0);
+      switchsim::SwitchConfig sw_config = config_.switch_config;
       sw_config.seed ^= static_cast<std::uint64_t>(
           0x100001 * (graph_.switch_index(node) + 1));
       auto sw = std::make_unique<switchsim::Switch>(
-          sim_, "sw" + std::to_string(graph_.switch_index(node)), total_ports,
-          sw_config);
+          node_sim, "sw" + std::to_string(graph_.switch_index(node)),
+          total_ports, sw_config);
       switch_by_node_[node] = sw.get();
       switches_.push_back(std::move(sw));
     }
   }
 
-  // Wire the data plane: one unidirectional Link per cable direction.
+  // Wire the data plane: one unidirectional Link per cable direction. A
+  // link lives on its *transmitter's* partition; when the receiver sits on
+  // another one, connect() records the destination simulation and
+  // deliveries ride the engine mailbox (net::Link::transmit).
   for (int node = 0; node < graph_.num_nodes(); ++node) {
+    sim::Simulation& node_sim = sim_for_node(node);
     for (int port = 0; port < graph_.num_ports(node); ++port) {
       const net::PortRef peer = graph_.peer(node, port);
       if (!peer.valid()) continue;
       const net::LinkSpec& spec = graph_.link_spec(node, port);
-      net::Link* out = make_link(spec.rate, spec.propagation);
+      net::Link* out = make_link(node_sim, spec.rate, spec.propagation);
       link_out_[PortKey{node, port}] = out;
       // Receiving end.
       if (graph_.is_host(peer.node)) {
         out->connect(hosts_[static_cast<std::size_t>(
                                 graph_.host_index(peer.node))]
                          .get(),
-                     0);
+                     0, &sim_for_node(peer.node));
       } else {
-        out->connect(switch_by_node_.at(peer.node), peer.port);
+        out->connect(switch_by_node_.at(peer.node), peer.port,
+                     &sim_for_node(peer.node));
       }
       // Transmitting end.
       if (graph_.is_host(node)) {
@@ -59,9 +86,11 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
     }
   }
 
-  // Controller + Planck collectors.
+  // Controller + Planck collectors. The controller stack binds to sim_ —
+  // the only simulation when unsharded, the engine's control partition
+  // when sharded.
   controller_ = std::make_unique<controller::Controller>(
-      sim_, graph_, config.controller_config);
+      sim_, graph_, config_.controller_config);
   for (int h = 0; h < num_hosts(); ++h) {
     controller_->attach_host(h, hosts_[static_cast<std::size_t>(h)].get());
   }
@@ -72,11 +101,14 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
     const auto sw_it = switch_by_node_.find(node);
     if (sw_it == switch_by_node_.end()) continue;
     switchsim::Switch* sw = sw_it->second;
+    sim::Simulation& sw_sim = sim_for_node(node);
     int monitor_port = -1;
-    if (config.enable_planck) {
+    if (config_.enable_planck) {
       monitor_port = graph_.num_ports(node);  // the extra port
+      // The collector is pinned to its switch's partition: the whole
+      // sample path (mirror, monitor cable, intake) stays intra-partition.
       auto collector = std::make_unique<core::Collector>(
-          sim_, "collector-" + sw->name(), node, config.collector_config);
+          sw_sim, "collector-" + sw->name(), node, config_.collector_config);
       // Monitor cable: same rate as the switch's first data link.
       sim::BitsPerSec rate = sim::gigabits_per_sec(10);
       for (int p = 0; p < graph_.num_ports(node); ++p) {
@@ -86,7 +118,7 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
         }
       }
       net::Link* monitor_link =
-          make_link(rate, config.monitor_propagation);
+          make_link(sw_sim, rate, config_.monitor_propagation);
       monitor_link->connect(collector.get(), 0);
       sw->attach_link(monitor_port, monitor_link);
       link_out_[PortKey{node, monitor_port}] = monitor_link;
@@ -96,11 +128,22 @@ Testbed::Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
     }
     controller_->attach_switch(node, sw, monitor_port);
     // Loss-of-signal notifications flow to the controller over its (lossy)
-    // control channel.
+    // control channel. Under the sharded engine the switch fires on its
+    // data partition, so the notification first hops to the control
+    // partition (one lookahead grid step, merged at the window barrier).
     switchsim::Switch* sw_ptr = sw;
-    sw_ptr->set_port_status_handler([this, node](int port, bool up) {
-      controller_->notify_port_status(node, port, up);
-    });
+    if (&sw_sim != &sim_) {
+      sw_ptr->set_port_status_handler([this, node, &sw_sim](int port,
+                                                            bool up) {
+        sw_sim.post(sim_, sw_sim.cross_lookahead(), [this, node, port, up] {
+          controller_->notify_port_status(node, port, up);
+        });
+      });
+    } else {
+      sw_ptr->set_port_status_handler([this, node](int port, bool up) {
+        controller_->notify_port_status(node, port, up);
+      });
+    }
   }
 
   controller_->install_routes();
@@ -130,7 +173,8 @@ void Testbed::set_collector_online(int graph_node, bool online) {
   collector_by_node_.at(graph_node)->set_online(online);
 }
 
-net::Link* Testbed::make_link(sim::BitsPerSec rate,
+net::Link* Testbed::make_link(sim::Simulation& source_sim,
+                              sim::BitsPerSec rate,
                               sim::Duration propagation) {
   // Clock-tolerance skew (see TestbedConfig::link_rate_ppm).
   if (config_.link_rate_ppm > 0) {
@@ -140,7 +184,8 @@ net::Link* Testbed::make_link(sim::BitsPerSec rate,
     rate = sim::BitsPerSec{static_cast<std::int64_t>(
         static_cast<double>(rate.count()) * (1.0 + skew))};
   }
-  links_.push_back(std::make_unique<net::Link>(sim_, rate, propagation));
+  links_.push_back(
+      std::make_unique<net::Link>(source_sim, rate, propagation));
   return links_.back().get();
 }
 

@@ -9,11 +9,16 @@
 #include "controller/controller.hpp"
 #include "core/collector.hpp"
 #include "net/link.hpp"
+#include "net/partition.hpp"
 #include "net/topology.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
 #include "switchsim/switch.hpp"
 #include "tcp/host.hpp"
+
+namespace planck::sim {
+class ParallelEngine;
+}  // namespace planck::sim
 
 namespace planck::workload {
 
@@ -50,9 +55,20 @@ class Testbed {
   Testbed(sim::Simulation& simulation, const net::TopologyGraph& graph,
           const TestbedConfig& config);
 
+  /// Sharded flavor (DESIGN.md §14): every node's state is instantiated on
+  /// the partition `map` assigns it, boundary cables are wired through the
+  /// engine mailbox, and the controller/TE stack lives on the engine's
+  /// control partition (which sim() then returns). `map.num_partitions`
+  /// must equal `engine.data_partitions()`. With one data partition this
+  /// produces the same schedule as the plain constructor run sequentially.
+  Testbed(sim::ParallelEngine& engine, const net::PartitionMap& map,
+          const net::TopologyGraph& graph, const TestbedConfig& config);
+
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
+  /// The control-plane simulation: the only one under the plain
+  /// constructor; the engine's control partition under the sharded one.
   sim::Simulation& sim() { return sim_; }
   const net::TopologyGraph& graph() const { return graph_; }
   controller::Controller& controller() { return *controller_; }
@@ -114,10 +130,19 @@ class Testbed {
     }
   };
 
-  net::Link* make_link(sim::BitsPerSec rate, sim::Duration propagation);
+  /// Shared constructor body. The link-rng draw order, construction order
+  /// and wiring are identical in both modes; only *which* simulation each
+  /// component binds to differs.
+  void build();
+  /// The partition `node`'s state lives on: sim_ when unsharded.
+  sim::Simulation& sim_for_node(int node);
+  net::Link* make_link(sim::Simulation& source_sim, sim::BitsPerSec rate,
+                       sim::Duration propagation);
   void set_direction_state(int node, int port, bool up);
 
   sim::Simulation& sim_;
+  sim::ParallelEngine* engine_ = nullptr;  // non-null: sharded mode
+  net::PartitionMap pmap_;                 // empty when unsharded
   net::TopologyGraph graph_;
   TestbedConfig config_;
   sim::Rng link_rng_{42};

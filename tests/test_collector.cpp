@@ -378,6 +378,21 @@ TEST(FlowTable, EvictIdleReturnsRecords) {
   EXPECT_EQ(table.size(), 1u);
 }
 
+TEST(FlowTable, EvictIdleCutoffIsClosed) {
+  // Regression: the eviction boundary is a closed interval. A flow last
+  // seen *exactly* at the cutoff (idle for exactly idle_timeout) is
+  // evicted on this sweep, not deferred to the next one; a flow one tick
+  // newer survives.
+  FlowTable table;
+  table.upsert(make_data(0, 1, 0).flow_key(), 300);  // exactly at cutoff
+  table.upsert(make_data(0, 2, 0).flow_key(), 301);  // one tick newer
+  const auto evicted = table.evict_idle(300);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].last_seen, 300);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_NE(table.find(make_data(0, 2, 0).flow_key()), nullptr);
+}
+
 TEST(FlowTable, FindMissingReturnsNull) {
   FlowTable table;
   EXPECT_EQ(table.find(make_data(0, 1, 0).flow_key()), nullptr);

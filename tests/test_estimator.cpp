@@ -166,6 +166,72 @@ TEST(BurstEstimator, ConfigurableThresholds) {
   EXPECT_NEAR(static_cast<double>(est.estimates_produced()), 10.0, 2.0);
 }
 
+TEST(BurstEstimator, PartialOverlapAdvancesReorderFilter) {
+  // Regression: a retransmission re-segmented across the old high-water
+  // mark (its range starts below last_seq_end_ but ends beyond it) is
+  // ignored, but must still advance the reorder filter past the bytes it
+  // covers. Before the fix the filter stayed behind, so a *duplicate* of
+  // the bytes beyond the old mark was later accepted as fresh in-order
+  // data.
+  BurstRateEstimator est;
+  est.add_sample(0, 0, 1460);      // opens the burst, high water 1460
+  est.add_sample(1231, 1460, 1460);  // in order, high water 2920
+  EXPECT_EQ(est.samples_ignored(), 0u);
+
+  // Re-segmented retransmission [2000, 3460): starts inside seen bytes,
+  // ends 540 bytes past the high-water mark.
+  est.add_sample(2462, 2000, 1460);
+  EXPECT_EQ(est.samples_ignored(), 1u);
+
+  // Duplicate of [2920, 3460): every byte was already covered by the
+  // overlapping sample above, so this must be ignored too.
+  est.add_sample(3693, 2920, 540);
+  EXPECT_EQ(est.samples_ignored(), 2u);
+
+  // Genuinely new data beyond the advanced filter is accepted again.
+  est.add_sample(4924, 3460, 1460);
+  EXPECT_EQ(est.samples_ignored(), 2u);
+  EXPECT_EQ(est.samples_seen(), 5u);
+}
+
+TEST(BurstEstimator, ReorderedOldSegmentDoesNotRegressFilter) {
+  // A fully stale sample (entirely below the high-water mark) must not
+  // pull the filter backwards: max() keeps the mark, so a duplicate of
+  // the newest bytes is still rejected afterwards.
+  BurstRateEstimator est;
+  est.add_sample(0, 0, 1460);
+  est.add_sample(1231, 1460, 1460);    // high water 2920
+  est.add_sample(2462, 0, 1460);       // stale retransmit of [0, 1460)
+  EXPECT_EQ(est.samples_ignored(), 1u);
+  est.add_sample(3693, 1460, 1460);    // duplicate of [1460, 2920)
+  EXPECT_EQ(est.samples_ignored(), 2u);
+}
+
+TEST(BurstEstimator, OverlappingRetransmitsDoNotPerturbCbrEstimate) {
+  // Two identical CBR streams, one laced with overlapping retransmits:
+  // the ignored samples must leave the estimate untouched.
+  BurstRateEstimator clean;
+  BurstRateEstimator dirty;
+  const std::uint32_t payload = 1460;
+  const double interval_ns = payload * 8.0 / 5e9 * 1e9;
+  std::uint64_t seq = 0;
+  for (double t = 0; t < static_cast<double>(sim::milliseconds(5));
+       t += interval_ns) {
+    clean.add_sample(static_cast<Time>(t), seq, payload);
+    dirty.add_sample(static_cast<Time>(t), seq, payload);
+    // Every 50th packet, replay the previous segment re-split across the
+    // high-water boundary.
+    if (seq > payload && (seq / payload) % 50 == 0) {
+      dirty.add_sample(static_cast<Time>(t), seq - payload / 2, payload);
+    }
+    seq += payload;
+  }
+  ASSERT_TRUE(clean.has_estimate());
+  ASSERT_TRUE(dirty.has_estimate());
+  EXPECT_GT(dirty.samples_ignored(), 0u);
+  EXPECT_DOUBLE_EQ(dirty.rate_bps(), clean.rate_bps());
+}
+
 TEST(BurstEstimator, CountsSamples) {
   BurstRateEstimator est;
   for (int i = 0; i < 5; ++i) {

@@ -79,8 +79,13 @@ def check_cross_partition_write(ctx):
 # lookahead-violation
 # --------------------------------------------------------------------------
 
+# Also matches the cross-partition mailbox flavors (Simulation::post /
+# post_packet) and the absolute-time packet path the barrier flush uses:
+# a boundary API that posts below the horizon is exactly as wrong as one
+# that schedules below it.
 SCHEDULE_CALL_RE = re.compile(
-    r"(?:\.|->|::)\s*(schedule(?:_at|_packet|_call(?:_at)?)?)\s*\(")
+    r"(?:\.|->|::)\s*(schedule(?:_at|_packet(?:_at)?|_call(?:_at)?)?"
+    r"|post(?:_packet)?)\s*\(")
 
 # A delay expression is provably >= the synchronization horizon when it is
 # built from a named horizon quantity. The token list is the contract: a
@@ -113,9 +118,12 @@ def check_lookahead_violation(ctx):
                 if close < 0:
                     continue
                 args = split_top_level(fn.body[open_idx + 1:close], ",")
-                if not args:
+                # post/post_packet take the destination partition first;
+                # the delay is the second argument.
+                delay_idx = 1 if m.group(1).startswith("post") else 0
+                if len(args) <= delay_idx:
                     continue
-                delay = args[0].strip()
+                delay = args[delay_idx].strip()
                 where = (f"'{m.group(1)}()' in boundary API "
                          f"'{fn.owner}::{fn.name}'")
                 off = fn.start + m.start()

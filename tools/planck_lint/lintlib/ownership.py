@@ -87,10 +87,13 @@ RECEIVER_HINTS = {
     "Collector": ("collector",),
 }
 
-# The engine mediator: scheduling *is* the sanctioned transport, so calls
+# The engine mediators: scheduling *is* the sanctioned transport, so calls
 # into these classes are never cross-partition writes themselves (the
 # lookahead-violation check polices their delay arguments instead).
-MEDIATOR_CLASSES = {"Simulation", "EventQueue", "Timer"}
+# ParallelEngine is the sharded engine's hub — Simulation::post/post_packet
+# route cross-partition events through its outboxes, and the lookahead
+# barrier is what makes those deliveries safe.
+MEDIATOR_CLASSES = {"Simulation", "EventQueue", "Timer", "ParallelEngine"}
 
 # Method names too generic to attribute to one class by name alone; the
 # name-based analysis skips them rather than guess.
